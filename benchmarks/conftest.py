@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benches print their figure/table reproductions; keep output visible.
+    config.option.verbose = max(config.option.verbose, 0)

@@ -1,0 +1,52 @@
+"""Fig. 3 — latency impact of oversized frames (timeline example).
+
+Paper: even with the average frame size on target, one oversized frame
+(red) drags pacing latency up and the end-to-end latency of subsequent
+frames surges with it. Reproduced by correlating per-frame size with
+the e2e latency of a paced (WebRTC*) run and printing the worst episode.
+"""
+
+import numpy as np
+
+from repro.bench import print_series, print_table
+from repro.bench.workloads import once, run_baseline
+from repro.net.trace import BandwidthTrace
+
+
+def run_experiment():
+    # A constant-rate link isolates the oversize effect from congestion.
+    trace = BandwidthTrace.constant(20e6, duration=60.0)
+    metrics = run_baseline("webrtc-star", trace, duration=25.0, seed=9)
+    frames = [f for f in metrics.displayed_frames()]
+    sizes = np.array([f.size_bytes for f in frames], dtype=float)
+    lats = np.array([f.e2e_latency for f in frames])
+    mean_size = sizes.mean()
+    # find the biggest frame and the latency window around it
+    peak = int(np.argmax(sizes))
+    window = slice(max(0, peak - 5), min(len(frames), peak + 10))
+    return {
+        "frame_ids": [f.frame_id for f in frames[window]],
+        "rel_sizes": (sizes[window] / mean_size).tolist(),
+        "latencies": lats[window].tolist(),
+        "corr": float(np.corrcoef(sizes, lats)[0, 1]),
+        "peak_rel": float(sizes[peak] / mean_size),
+        "lat_before": float(np.mean(lats[max(0, peak - 10):peak])) if peak else 0.0,
+        "lat_after": float(np.mean(lats[peak:peak + 5])),
+    }
+
+
+def test_fig03_oversize_latency(benchmark):
+    result = once(benchmark, run_experiment)
+    print_table(
+        "Fig. 3: e2e latency around the most oversized frame "
+        "(paper: oversized frame -> latency surge)",
+        ["frame", "size/mean", "e2e ms"],
+        [[fid, f"{rs:.2f}", f"{lat * 1000:.1f}"]
+         for fid, rs, lat in zip(result["frame_ids"], result["rel_sizes"],
+                                 result["latencies"])],
+    )
+    print(f"size-latency correlation: {result['corr']:.3f}")
+    assert result["peak_rel"] > 2.0, "corpus should contain an oversized frame"
+    assert result["lat_after"] > result["lat_before"], \
+        "latency must surge after the oversized frame"
+    assert result["corr"] > 0.1, "frame size should correlate with latency"

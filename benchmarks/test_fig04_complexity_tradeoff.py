@@ -1,0 +1,71 @@
+"""Fig. 4 — impact of encoding complexity on frame size and encode time.
+
+Paper: at equal quality, moving from the lowest to the highest
+complexity level reduces frame size by 38-51% (codec-dependent) at the
+cost of roughly doubled encoding time; newer codecs need fewer bits
+overall (the dashed line) but keep the same tradeoff.
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.bench.workloads import once
+from repro.sim.rng import SeedSequenceFactory
+from repro.video.codec.model import CodecModel
+from repro.video.codec.presets import codec_config
+from repro.video.source import VideoSource
+
+CODECS = ("x264", "x265", "vp9", "av1")
+QUALITY = 85.0
+FRAMES = 600
+
+
+def sweep_codec(name: str):
+    rngs = SeedSequenceFactory(31)
+    codec = CodecModel(codec_config(name), rngs.stream(f"codec.{name}"))
+    source = VideoSource.from_category("vlog", rngs.stream("source"))
+    frames = list(source.frames(FRAMES))
+    for f in frames:
+        codec.observe_satd(f.satd)
+    per_level = []
+    for level in (0, 1, 2):
+        sizes, times = [], []
+        for f in frames:
+            planned = codec.natural_bits(f, level, QUALITY) / 8.0
+            encoded = codec.encode(f, planned, level)
+            sizes.append(encoded.size_bytes)
+            times.append(encoded.encode_time)
+        per_level.append((float(np.mean(sizes)), float(np.mean(times))))
+    return per_level
+
+
+def run_experiment():
+    results = {}
+    for name in CODECS:
+        results[name] = sweep_codec(name)
+    return results
+
+
+def test_fig04_complexity_tradeoff(benchmark):
+    results = once(benchmark, run_experiment)
+    # Normalize frame size by the largest (x264 c0), as the paper does.
+    norm = results["x264"][0][0]
+    rows = []
+    for name, levels in results.items():
+        for idx, (size, time) in enumerate(levels):
+            rows.append([name, f"c{idx}", f"{size / norm:.2f}",
+                         f"{time * 1000:.1f}"])
+    print_table(
+        "Fig. 4: frame size (normalized) and encode time vs complexity "
+        "(paper: max complexity saves 38-51%)",
+        ["codec", "level", "norm size", "encode ms"],
+        rows,
+    )
+    for name, levels in results.items():
+        size_c0, time_c0 = levels[0]
+        size_c2, time_c2 = levels[2]
+        reduction = 1 - size_c2 / size_c0
+        assert 0.30 <= reduction <= 0.60, f"{name}: reduction {reduction:.2f}"
+        assert time_c2 > 1.4 * time_c0, f"{name}: encode time must rise"
+    # newer codecs below the x264 line at c0 (the dashed-line effect)
+    assert results["av1"][0][0] < results["x265"][0][0] < results["x264"][0][0]

@@ -1,0 +1,46 @@
+"""Fig. 5 — encoding vs decoding time across complexity levels.
+
+Paper: encode time escalates from ~6 ms to ~12 ms as complexity rises
+while decode time barely moves — the asymmetry that lets ACE-C spend
+sender cycles without burdening receivers.
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.bench.workloads import once
+from repro.sim.rng import SeedSequenceFactory
+from repro.video.codec.presets import make_x264_model
+from repro.video.source import VideoSource
+
+FRAMES = 500
+
+
+def run_experiment():
+    rngs = SeedSequenceFactory(41)
+    codec = make_x264_model(rngs.stream("codec"))
+    source = VideoSource.from_category("gaming", rngs.stream("source"))
+    frames = list(source.frames(FRAMES))
+    rows = []
+    for level in (0, 1, 2):
+        enc_times = [codec.encode(f, 80_000, level).encode_time for f in frames]
+        dec_times = [codec.decode_time() for _ in frames]
+        rows.append((level, float(np.mean(enc_times)), float(np.mean(dec_times))))
+    return rows
+
+
+def test_fig05_encode_decode_time(benchmark):
+    rows = once(benchmark, run_experiment)
+    print_table(
+        "Fig. 5: encode/decode time vs complexity "
+        "(paper: encode 6->12 ms, decode flat)",
+        ["level", "encode ms", "decode ms"],
+        [[f"c{l}", f"{e * 1000:.2f}", f"{d * 1000:.2f}"] for l, e, d in rows],
+    )
+    enc = [e for _, e, _ in rows]
+    dec = [d for _, _, d in rows]
+    assert enc[2] > 1.6 * enc[0], "encode time must roughly double"
+    assert 0.004 < enc[0] < 0.010, "c0 encode near 6 ms"
+    assert 0.009 < enc[2] < 0.016, "c2 encode near 12 ms"
+    spread = (max(dec) - min(dec)) / np.mean(dec)
+    assert spread < 0.15, "decode time must stay flat across complexity"

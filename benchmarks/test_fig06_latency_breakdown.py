@@ -1,0 +1,65 @@
+"""Fig. 6 — latency breakdown during stall vs non-stall periods.
+
+Paper (production measurement): pacing latency during stall events is
+~60% higher than without stalls and larger than the network delay,
+while coding latency stays flat — the correlation that motivates the
+work. Reproduced by attributing each stall event (a display gap above
+100 ms) to the frame that ended it: those frames carry the latency
+accumulated during the stall, and their component breakdown is compared
+against ordinary frames.
+"""
+
+import numpy as np
+
+from repro.bench import fmt_ms, print_table
+from repro.bench.workloads import once, run_baseline, trace_library
+from repro.rtc.metrics import STALL_THRESHOLD_S
+
+
+def classify_frames(metrics):
+    """Yield (is_stall_frame, frame) in display order."""
+    frames = sorted(metrics.displayed_frames(), key=lambda f: f.displayed_at)
+    for prev, cur in zip(frames, frames[1:]):
+        gap = cur.displayed_at - prev.displayed_at
+        yield gap > STALL_THRESHOLD_S, cur
+
+
+def run_experiment():
+    groups = {"stall": {"encode": [], "pacing": [], "network": []},
+              "no-stall": {"encode": [], "pacing": [], "network": []}}
+    for trace in trace_library().by_class("wifi") + trace_library().by_class("4g"):
+        metrics = run_baseline("webrtc-star", trace, duration=25.0)
+        for is_stall, f in classify_frames(metrics):
+            key = "stall" if is_stall else "no-stall"
+            groups[key]["encode"].append(f.encode_time)
+            groups[key]["pacing"].append(f.pacing_latency or 0.0)
+            groups[key]["network"].append(f.network_latency or 0.0)
+    # Medians: the no-stall pool contains the *plateaus* of backlog
+    # episodes (steadily-late frames display at regular intervals), whose
+    # extreme pacing values would swamp a mean — the typical-frame
+    # comparison is what the paper's 2 s-interval averages capture.
+    return {
+        key: {comp: float(np.median(vals)) if vals else float("nan")
+              for comp, vals in comps.items()}
+        for key, comps in groups.items()
+    }
+
+
+def test_fig06_latency_breakdown(benchmark):
+    result = once(benchmark, run_experiment)
+    print_table(
+        "Fig. 6: median latency breakdown, stall vs no-stall frames "
+        "(paper: pacing +60% during stalls, coding flat)",
+        ["component", "no-stall ms", "stall ms", "ratio"],
+        [[comp,
+          fmt_ms(result["no-stall"][comp]),
+          fmt_ms(result["stall"][comp]),
+          f"{result['stall'][comp] / max(result['no-stall'][comp], 1e-9):.2f}x"]
+         for comp in ("encode", "pacing", "network")],
+    )
+    pacing_ratio = result["stall"]["pacing"] / result["no-stall"]["pacing"]
+    encode_ratio = result["stall"]["encode"] / result["no-stall"]["encode"]
+    assert pacing_ratio > 1.3, "pacing latency must be elevated during stalls"
+    assert encode_ratio < 1.3, "coding latency stays flat across stall state"
+    assert result["stall"]["pacing"] > result["stall"]["network"], \
+        "during stalls pacing exceeds network delay"

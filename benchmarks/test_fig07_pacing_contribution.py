@@ -1,0 +1,90 @@
+"""Fig. 7 — pacing latency's share of total delay vs RTT and total latency.
+
+Paper: (a) sweeping RTT from 160 ms down to 10 ms, pacing latency
+gradually becomes the dominant component of long-tail frames; (b) at a
+fixed 20 ms RTT, pacing accounts for over 60% of total delay once the
+overall latency reaches 200 ms.
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.bench.workloads import once, run_baseline, trace_library
+from repro.rtc.session import SessionConfig
+
+RTTS = (0.160, 0.080, 0.040, 0.020, 0.010)
+
+
+def components_of_tail(metrics, latency_floor=0.2):
+    tail = [f for f in metrics.displayed_frames()
+            if f.e2e_latency and f.e2e_latency > latency_floor]
+    if not tail:
+        return None
+    pacing = float(np.mean([f.pacing_latency or 0 for f in tail]))
+    network = float(np.mean([f.network_latency or 0 for f in tail]))
+    encode = float(np.mean([f.encode_time for f in tail]))
+    total = float(np.mean([f.e2e_latency for f in tail]))
+    return pacing, network, encode, total, len(tail)
+
+
+def run_experiment():
+    trace = trace_library().by_class("wifi")[0]
+    sweep = {}
+    for rtt in RTTS:
+        cfg = SessionConfig(duration=25.0, seed=3, base_rtt=rtt,
+                            initial_bwe_bps=6e6)
+        metrics = run_baseline("webrtc-star", trace, config=cfg)
+        sweep[rtt] = components_of_tail(metrics)
+
+    # (b) fixed low RTT, bucket frames by total latency
+    cfg = SessionConfig(duration=25.0, seed=3, base_rtt=0.020,
+                        initial_bwe_bps=6e6)
+    metrics = run_baseline("webrtc-star", trace, config=cfg)
+    buckets = {}
+    for f in metrics.displayed_frames():
+        lat = f.e2e_latency
+        if lat is None:
+            continue
+        key = min(int(lat / 0.1), 4)  # 0-100, 100-200, ..., 400+
+        buckets.setdefault(key, []).append(f)
+    shares = {}
+    for key, frames in sorted(buckets.items()):
+        pacing = np.mean([f.pacing_latency or 0 for f in frames])
+        total = np.mean([f.e2e_latency for f in frames])
+        shares[key] = (float(pacing / total), len(frames))
+    return sweep, shares
+
+
+def test_fig07_pacing_contribution(benchmark):
+    sweep, shares = once(benchmark, run_experiment)
+    rows = []
+    for rtt, comps in sweep.items():
+        if comps is None:
+            rows.append([f"{rtt * 1000:.0f}", "-", "-", "-", "0"])
+            continue
+        pacing, network, encode, total, n = comps
+        rows.append([f"{rtt * 1000:.0f}", f"{pacing / total * 100:.0f}%",
+                     f"{network / total * 100:.0f}%",
+                     f"{encode / total * 100:.0f}%", str(n)])
+    print_table(
+        "Fig. 7(a): component share of >200 ms frames vs RTT "
+        "(paper: pacing dominates as RTT shrinks)",
+        ["RTT ms", "pacing", "network", "encode", "tail frames"],
+        rows,
+    )
+    print_table(
+        "Fig. 7(b): pacing share vs total latency at RTT=20 ms "
+        "(paper: >60% at 200 ms)",
+        ["latency bucket", "pacing share", "frames"],
+        [[f"{k * 100}-{k * 100 + 100} ms", f"{s * 100:.0f}%", str(n)]
+         for k, (s, n) in shares.items()],
+    )
+    # pacing share at the lowest RTT must exceed the share at the highest
+    lo = sweep[0.010]
+    hi = sweep[0.160]
+    if lo is not None and hi is not None:
+        assert lo[0] / lo[3] > hi[0] / hi[3]
+    # at 20 ms RTT, the 200 ms+ buckets are pacing-dominated
+    big_buckets = [s for k, (s, n) in shares.items() if k >= 2 and n >= 5]
+    if big_buckets:
+        assert max(big_buckets) > 0.5

@@ -1,0 +1,43 @@
+"""Fig. 9 — low-latency CCAs consistently underestimate bandwidth.
+
+Paper: testing GCC over mixed Wi-Fi/4G/5G conditions, the bandwidth
+estimate sits below the actual available bandwidth over 90% of the
+time — the headroom that makes transient bursts safe.
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.bench.workloads import once, run_baseline, trace_library
+
+
+def run_experiment():
+    rows = []
+    all_samples = []
+    for cls in ("wifi", "4g", "5g"):
+        trace = trace_library().by_class(cls)[0]
+        metrics = run_baseline("webrtc-star", trace, duration=25.0)
+        # drop the first 5 s of GCC ramp-up, as the steady-state claim is
+        # about tracking, not cold start
+        samples = metrics.bwe_accuracy_samples(bin_s=0.01)
+        steady = samples[len(samples) // 5:]
+        under = float(np.mean([s < 1.0 for s in steady]))
+        median = float(np.median(steady))
+        rows.append([cls, f"{under * 100:.1f}%", f"{median:.2f}"])
+        all_samples.extend(steady)
+    overall = float(np.mean([s < 1.0 for s in all_samples]))
+    return rows, overall
+
+
+def test_fig09_bwe_underestimation(benchmark):
+    rows, overall = once(benchmark, run_experiment)
+    print_table(
+        "Fig. 9: GCC bandwidth-estimation accuracy "
+        "(paper: underestimates >90% of the time)",
+        ["trace class", "time underestimating", "median BWE/BW"],
+        rows,
+    )
+    print(f"overall underestimation fraction: {overall * 100:.1f}%")
+    assert overall > 0.85, "GCC must underestimate most of the time"
+    for row in rows:
+        assert float(row[2]) < 1.05, "median estimate should sit below capacity"

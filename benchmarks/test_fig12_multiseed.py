@@ -1,0 +1,46 @@
+"""Fig. 12 robustness — the headline tradeoff aggregated across seeds.
+
+The single-seed Fig. 12 bench shows the frontier; this companion checks
+the claim survives workload randomness: ACE's P95 cut versus WebRTC*
+must hold on every paired (trace, seed) workload, and the aggregate cut
+must stay large.
+"""
+
+from repro.analysis import RunResult, aggregate, paired_compare, render_aggregate
+from repro.bench.workloads import once, run_baseline, trace_library
+
+BASELINES = ("ace", "webrtc-star", "cbr")
+SEEDS = (3, 11)
+CLASSES = ("wifi", "5g")
+
+
+def run_experiment():
+    results = []
+    for cls in CLASSES:
+        trace = trace_library().by_class(cls)[0]
+        for seed in SEEDS:
+            for name in BASELINES:
+                metrics = run_baseline(name, trace, duration=25.0, seed=seed)
+                results.append(RunResult.from_metrics(
+                    metrics, baseline=name, trace=cls, seed=seed))
+    return results
+
+
+def test_fig12_multiseed(benchmark):
+    results = once(benchmark, run_experiment)
+    print()
+    print("=== Fig. 12 aggregated over seeds "
+          f"{SEEDS} x traces {CLASSES} ===")
+    print(render_aggregate(aggregate(results)))
+    latency = paired_compare(results, "ace", "webrtc-star",
+                             metric="p95_latency")
+    quality = paired_compare(results, "webrtc-star", "ace",
+                             metric="mean_vmaf")
+    print(f"\nACE vs WebRTC* p95: mean diff {latency.mean_diff * 1000:+.1f} ms "
+          f"({latency.wins}/{latency.n} workloads won)")
+    assert latency.n == len(SEEDS) * len(CLASSES)
+    assert latency.consistent, \
+        "ACE must beat WebRTC* P95 on every paired workload"
+    assert latency.mean_diff < -0.05, "aggregate cut stays large (>50 ms)"
+    # quality: ACE within the WebRTC* tier on average (diff < 5 VMAF)
+    assert quality.mean_diff < 5.0

@@ -1,0 +1,43 @@
+"""Fig. 15 — ablation study: ACE-N only, ACE-C only, full ACE.
+
+Paper: removing ACE-N (keeping only complexity control) loses most of
+the latency win but gains some quality; ACE-N alone gets most of the
+latency improvement at similar quality; both partial designs still land
+on the upper-left of the baseline envelope, and together they do best.
+ACE-N's contribution is the larger of the two.
+"""
+
+from repro.bench import fmt_ms, print_table
+from repro.bench.workloads import once, run_baselines, trace_library
+
+VARIANTS = ("ace", "ace-n", "ace-c", "webrtc-star", "cbr")
+
+
+def run_experiment():
+    trace = trace_library().by_class("wifi")[0]
+    return {
+        name: (m.p95_latency(), m.mean_vmaf())
+        for name, m in run_baselines(list(VARIANTS), trace,
+                                     duration=30.0).items()
+    }
+
+
+def test_fig15_ablation(benchmark):
+    results = once(benchmark, run_experiment)
+    print_table(
+        "Fig. 15: ablation (paper: ACE-N contributes more latency "
+        "reduction; ACE-C adds quality; both beat the envelope)",
+        ["variant", "p95 ms", "VMAF"],
+        [[n, fmt_ms(v[0]), f"{v[1]:.1f}"] for n, v in results.items()],
+    )
+    ace, ace_n, ace_c = results["ace"], results["ace-n"], results["ace-c"]
+    star = results["webrtc-star"]
+    # both ablations improve latency over the paced baseline
+    assert ace_n[0] < star[0]
+    assert ace_c[0] < star[0] * 1.05
+    # ACE-N's latency contribution larger than ACE-C's
+    assert ace_n[0] < ace_c[0]
+    # ACE-C preserves/raises quality vs WebRTC*
+    assert ace_c[1] > star[1] - 2.0
+    # full ACE at least matches the better ablation on latency
+    assert ace[0] <= ace_n[0] * 1.15

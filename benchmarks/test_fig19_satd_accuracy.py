@@ -1,0 +1,46 @@
+"""Fig. 19 — SATD-based relative-size prediction accuracy.
+
+Paper: the predicted relative frame size rho-hat closely tracks the
+actual rho, particularly in the oversized range where ACE-C's decisions
+matter.
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.bench.workloads import once, run_baseline, trace_library
+
+
+def run_experiment():
+    trace = trace_library().by_class("wifi")[0]
+    _, session = run_baseline("ace", trace, duration=25.0, return_session=True)
+    log = session.sender.ace_c.prediction_log
+    pred = np.array([p for p, _ in log])
+    actual = np.array([a for _, a in log])
+    err = pred - actual
+    corr = float(np.corrcoef(pred, actual)[0, 1]) if len(pred) > 2 else 0.0
+    # accuracy by actual-size bucket
+    buckets = []
+    for lo, hi in ((0.0, 0.5), (0.5, 1.0), (1.0, 2.0), (2.0, 100.0)):
+        sel = (actual >= lo) & (actual < hi)
+        if sel.sum() >= 3:
+            buckets.append((f"{lo:g}-{hi:g}", int(sel.sum()),
+                            float(np.mean(np.abs(err[sel]))),
+                            float(np.mean(err[sel]))))
+    return {"n": len(pred), "corr": corr,
+            "mae": float(np.mean(np.abs(err))), "buckets": buckets}
+
+
+def test_fig19_satd_accuracy(benchmark):
+    r = once(benchmark, run_experiment)
+    print_table(
+        "Fig. 19: rho-hat vs rho accuracy "
+        "(paper: predictions track actual sizes closely)",
+        ["actual rho range", "frames", "MAE", "bias"],
+        [[rng, str(n), f"{mae:.3f}", f"{bias:+.3f}"]
+         for rng, n, mae, bias in r["buckets"]],
+    )
+    print(f"n={r['n']}  corr={r['corr']:.3f}  overall MAE={r['mae']:.3f}")
+    assert r["n"] > 100
+    assert r["corr"] > 0.6, "prediction must track actual sizes"
+    assert r["mae"] < 0.5, "mean absolute rho error within half a budget"

@@ -1,0 +1,44 @@
+"""Fig. 22 — runtime CPU overhead on the sender.
+
+Paper: sender CPU rises with bitrate and frame rate; ACE's complexity
+elevation adds negligible overhead next to those two factors.
+"""
+
+from repro.bench import print_table
+from repro.bench.workloads import once
+from repro.rtc.overhead import OverheadModel
+from repro.video.codec.presets import x264_config
+
+BITRATES = (5e6, 10e6, 20e6, 30e6)
+FPS_SET = (30.0, 60.0)
+
+
+def run_experiment():
+    model = OverheadModel(x264_config())
+    rows = []
+    for fps in FPS_SET:
+        for bitrate in BITRATES:
+            plain = model.sender_cpu(bitrate, fps)
+            ace = model.sender_cpu(bitrate, fps, elevated_fraction=0.05)
+            rows.append((fps, bitrate, plain.cpu_percent, ace.cpu_percent,
+                         plain.memory_mb))
+    return rows
+
+
+def test_fig22_runtime_overhead(benchmark):
+    rows = once(benchmark, run_experiment)
+    print_table(
+        "Fig. 22: sender CPU vs bitrate/fps, WebRTC vs ACE "
+        "(paper: ACE overhead negligible next to bitrate/fps)",
+        ["fps", "Mbps", "CPU% plain", "CPU% ACE", "mem MB"],
+        [[f"{fps:.0f}", f"{b / 1e6:.0f}", f"{p:.1f}", f"{a:.1f}", f"{m:.0f}"]
+         for fps, b, p, a, m in rows],
+    )
+    by_key = {(fps, b): (p, a) for fps, b, p, a, _ in rows}
+    # CPU grows with bitrate and fps
+    assert by_key[(30.0, 30e6)][0] > by_key[(30.0, 5e6)][0]
+    assert by_key[(60.0, 10e6)][0] > by_key[(30.0, 10e6)][0]
+    # ACE delta is small next to the fps doubling delta
+    ace_delta = by_key[(30.0, 10e6)][1] - by_key[(30.0, 10e6)][0]
+    fps_delta = by_key[(60.0, 10e6)][0] - by_key[(30.0, 10e6)][0]
+    assert ace_delta < 0.25 * fps_delta

@@ -1,0 +1,36 @@
+"""Fig. 23 — encoding-time distribution per baseline.
+
+Paper: ACE's mean encoding time is only ~2 ms above the x264 baseline;
+VP8 is slower than x264; Salsify is slowest (two encodes per frame).
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.bench.workloads import once, run_baseline, trace_library
+
+
+def run_experiment():
+    trace = trace_library().by_class("wifi")[0]
+    results = {}
+    for name in ("webrtc-star", "ace", "webrtc", "salsify"):
+        metrics = run_baseline(name, trace, duration=20.0)
+        times = [f.encode_time for f in metrics.frames]
+        results[name] = (float(np.mean(times)), float(np.percentile(times, 95)))
+    return results
+
+
+def test_fig23_encoding_latency(benchmark):
+    results = once(benchmark, run_experiment)
+    print_table(
+        "Fig. 23: encoding latency by baseline "
+        "(paper: ACE ~2 ms over x264; Salsify slowest)",
+        ["baseline", "mean ms", "p95 ms"],
+        [[n, f"{m * 1000:.2f}", f"{p * 1000:.2f}"]
+         for n, (m, p) in results.items()],
+    )
+    x264_mean = results["webrtc-star"][0]
+    assert results["ace"][0] - x264_mean < 0.004, "ACE adds only ~2 ms"
+    assert results["ace"][0] > x264_mean, "ACE must add some encode time"
+    assert results["webrtc"][0] > x264_mean, "VP8 slower than x264"
+    assert results["salsify"][0] > results["webrtc"][0], "Salsify slowest"

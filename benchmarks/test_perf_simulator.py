@@ -1,0 +1,75 @@
+"""Simulator performance benchmarks (actual multi-round timings).
+
+Unlike the figure/table benches (which run an experiment once and print
+its reproduction), these measure the library's own hot paths so
+regressions in simulation throughput are caught: event-loop dispatch,
+token-bucket accounting, packetization, and end-to-end session speed.
+"""
+
+from repro.core.token_bucket import TokenBucket
+from repro.net.trace import BandwidthTrace
+from repro.rtc.baselines import build_session
+from repro.rtc.session import SessionConfig
+from repro.sim.events import EventLoop
+from repro.transport.rtp import Packetizer
+from repro.video.frame import EncodedFrame
+
+
+def test_perf_event_loop_dispatch(benchmark):
+    def run_10k_events():
+        loop = EventLoop()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                loop.call_later(0.001, tick)
+
+        loop.call_later(0.0, tick)
+        loop.drain()
+        return count
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_perf_token_bucket_ops(benchmark):
+    def run_ops():
+        tb = TokenBucket(rate_bps=10e6, bucket_bytes=50_000, now=0.0)
+        t = 0.0
+        sent = 0
+        for i in range(20_000):
+            t += 0.0005
+            if tb.consume(1200, t):
+                sent += 1
+        return sent
+
+    assert benchmark(run_ops) > 0
+
+
+def test_perf_packetizer(benchmark):
+    frame = EncodedFrame(frame_id=0, capture_time=0.0, size_bytes=125_000,
+                         encode_time=0.006, quality_vmaf=85.0,
+                         complexity_level=0, qp=26.0, satd=1.0,
+                         planned_bytes=125_000)
+
+    def packetize_1k_frames():
+        pk = Packetizer()
+        total = 0
+        for _ in range(1_000):
+            total += len(pk.packetize(frame))
+        return total
+
+    assert benchmark(packetize_1k_frames) >= 100_000
+
+
+def test_perf_full_session_throughput(benchmark):
+    """Wall time to simulate a 5-second ACE session (~150 frames)."""
+    trace = BandwidthTrace.constant(20e6, duration=20.0)
+
+    def run_session():
+        cfg = SessionConfig(duration=5.0, seed=3, initial_bwe_bps=8e6)
+        return len(build_session("ace", trace, cfg).run().frames)
+
+    frames = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert frames >= 145

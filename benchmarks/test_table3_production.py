@@ -1,0 +1,63 @@
+"""Table 3 — production cloud-gaming experiment (emulated substitution).
+
+Paper: ACE-N on the production RTC engine over weak-network traces
+(canteens, coffee shops, airports) at 60 fps game content — vs
+AlwaysPace it cuts latency ~15% with slightly better received fps; vs
+AlwaysBurst it slashes stall rate (2.89 vs 13.37) and latency (137 vs
+323 ms), with ~5.6% better received fps. Substituted here with the
+weak-network trace generators, the delivery-rate production CCA, and
+the shared-medium contention loss model (long burst trains collide with
+competing stations — the venue effect that punishes AlwaysBurst).
+"""
+
+import numpy as np
+
+from repro.bench import fmt_ms, fmt_pct, print_table
+from repro.bench.workloads import once, run_baseline
+from repro.net.trace import make_weak_network_trace
+from repro.rtc.session import SessionConfig
+from repro.sim.rng import RngStream
+
+VENUES = ("canteen", "coffee_shop", "airport")
+SCHEMES = ("ace-n-prod", "always-pace", "always-burst")
+
+
+def run_experiment():
+    agg = {name: {"lat": [], "stall": [], "fps": []} for name in SCHEMES}
+    for venue in VENUES:
+        trace = make_weak_network_trace(RngStream(71, f"weak.{venue}"),
+                                        duration=120.0, venue=venue)
+        for name in SCHEMES:
+            cfg = SessionConfig(duration=25.0, seed=3, fps=60.0,
+                                initial_bwe_bps=6e6,
+                                contention_loss_rate=0.05,
+                                # venue APs are bufferbloated: a
+                                # throughput-chasing burst engine can
+                                # stand hundreds of ms of queue in them
+                                queue_capacity_bytes=500_000)
+            m = run_baseline(name, trace, category="gaming", config=cfg)
+            agg[name]["lat"].append(m.mean_latency())
+            agg[name]["stall"].append(m.stall_rate())
+            agg[name]["fps"].append(m.received_fps())
+    return {name: {k: float(np.mean(v)) for k, v in vals.items()}
+            for name, vals in agg.items()}
+
+
+def test_table3_production(benchmark):
+    r = once(benchmark, run_experiment)
+    print_table(
+        "Table 3: production weak-network experiment, 60 fps gaming "
+        "(paper: ACE-N 2.89% stall / 137 ms / 56.8 fps; "
+        "AlwaysPace 2.96 / 161 / 56.6; AlwaysBurst 13.37 / 323 / 53.8)",
+        ["method", "stall rate", "mean latency", "recv fps"],
+        [[n, fmt_pct(v["stall"]), fmt_ms(v["lat"]), f"{v['fps']:.1f}"]
+         for n, v in r.items()],
+    )
+    acen, pace, burst = r["ace-n-prod"], r["always-pace"], r["always-burst"]
+    # vs AlwaysPace: meaningful latency cut at no stall cost
+    assert acen["lat"] < 0.95 * pace["lat"], "ACE-N cuts latency vs AlwaysPace"
+    assert acen["stall"] <= pace["stall"] * 1.3
+    # vs AlwaysBurst: dramatically fewer stalls and lower latency
+    assert acen["stall"] < 0.6 * burst["stall"]
+    assert acen["lat"] < burst["lat"]
+    assert acen["fps"] >= burst["fps"], "ACE-N delivers more frames"

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Cloud gaming under weak networks — the paper's production scenario.
+
+Streams 60 fps gaming content over canteen/coffee-shop/airport-style
+weak-network traces (the Table 3 setting) and compares the production
+engine's two legacy policies (AlwaysPace / AlwaysBurst) against ACE-N,
+reporting the user-experience metrics the paper tracks: stall rate,
+average latency, and received frame rate.
+
+Run:  python examples/cloud_gaming.py
+"""
+
+import numpy as np
+
+from repro.net import make_weak_network_trace
+from repro.rtc import SessionConfig, build_session
+from repro.sim import RngStream
+
+VENUES = ("canteen", "coffee_shop", "airport")
+SCHEMES = ("ace-n-prod", "always-pace", "always-burst")
+DURATION = 20.0
+
+
+def run_scheme(scheme: str) -> dict:
+    stalls, latencies, fps = [], [], []
+    for venue in VENUES:
+        trace = make_weak_network_trace(
+            RngStream(99, f"weak.{venue}"), duration=DURATION + 10, venue=venue)
+        session = build_session(
+            scheme, trace,
+            SessionConfig(duration=DURATION, seed=11, fps=60.0,
+                          initial_bwe_bps=6e6,
+                          # shared-medium contention: long burst trains
+                          # collide with competing stations in the venue
+                          contention_loss_rate=0.05,
+                          # venue APs are bufferbloated
+                          queue_capacity_bytes=500_000),
+            category="gaming",
+        )
+        metrics = session.run()
+        stalls.append(metrics.stall_rate())
+        latencies.append(metrics.mean_latency())
+        fps.append(metrics.received_fps())
+    return {
+        "stall": float(np.mean(stalls)),
+        "latency": float(np.mean(latencies)),
+        "fps": float(np.mean(fps)),
+    }
+
+
+def main() -> None:
+    print("60 fps cloud gaming over weak networks "
+          f"({', '.join(VENUES)})\n")
+    header = f"{'method':<14}{'stall rate':>12}{'avg latency':>14}{'recv fps':>10}"
+    print(header)
+    print("-" * len(header))
+    results = {scheme: run_scheme(scheme) for scheme in SCHEMES}
+    for scheme, r in results.items():
+        print(f"{scheme:<14}{r['stall'] * 100:>11.2f}%"
+              f"{r['latency'] * 1000:>11.1f} ms{r['fps']:>10.1f}")
+
+    acen, burst = results["ace-n-prod"], results["always-burst"]
+    print(f"\nACE-N vs AlwaysBurst: {acen['latency'] / burst['latency']:.2f}x "
+          f"latency, {acen['stall'] / max(burst['stall'], 1e-9):.2f}x stalls "
+          "(paper Table 3: dramatically fewer stalls at far lower latency).")
+
+
+if __name__ == "__main__":
+    main()

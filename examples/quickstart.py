@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: run ACE against WebRTC* on a synthetic Wi-Fi trace.
+
+Builds a 20-second RTC session per scheme over the same workload (same
+trace, same gaming content, same seed) and prints the headline metrics
+the paper optimizes: tail latency and perceptual quality.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.net import make_wifi_trace
+from repro.rtc import SessionConfig, build_session
+from repro.sim import RngStream
+
+
+def main() -> None:
+    duration = 20.0
+    schemes = ("ace", "webrtc-star", "cbr")
+
+    print(f"Streaming {duration:.0f} s of gaming content over synthetic Wi-Fi\n")
+    header = f"{'scheme':<14}{'P95 latency':>14}{'mean VMAF':>12}{'loss':>9}{'stalls':>9}"
+    print(header)
+    print("-" * len(header))
+
+    for scheme in schemes:
+        # A fresh trace object per run keeps sessions fully independent;
+        # the same seed makes the bandwidth identical across schemes.
+        trace = make_wifi_trace(RngStream(7, "trace"), duration=duration + 10)
+        session = build_session(
+            scheme, trace,
+            SessionConfig(duration=duration, seed=42, initial_bwe_bps=6e6),
+            category="gaming",
+        )
+        metrics = session.run()
+        print(f"{scheme:<14}"
+              f"{metrics.p95_latency() * 1000:>11.1f} ms"
+              f"{metrics.mean_vmaf():>12.1f}"
+              f"{metrics.loss_rate() * 100:>8.2f}%"
+              f"{metrics.stall_rate() * 100:>8.2f}%")
+
+    print("\nACE should sit near WebRTC*'s quality at a fraction of its "
+          "tail latency — the paper's Fig. 12 in miniature.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Analysis utilities: structured results, reports, and comparisons.
+
+Turns :class:`~repro.rtc.metrics.SessionMetrics` into serializable
+result records, renders human-readable reports, and diffs runs — the
+layer a downstream user builds dashboards and regression checks on.
+"""
+
+from repro.analysis.results import RunResult, load_results, save_results
+from repro.analysis.report import compare_runs, latency_report, session_report
+from repro.analysis.aggregate import (
+    MetricSummary,
+    PairedComparison,
+    aggregate,
+    paired_compare,
+    render_aggregate,
+)
+
+__all__ = [
+    "RunResult",
+    "save_results",
+    "load_results",
+    "session_report",
+    "latency_report",
+    "compare_runs",
+    "MetricSummary",
+    "PairedComparison",
+    "aggregate",
+    "paired_compare",
+    "render_aggregate",
+]

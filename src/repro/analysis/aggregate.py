@@ -1,0 +1,118 @@
+"""Aggregation of run results across seeds/traces.
+
+Single-seed simulations of stochastic networks carry variance; paper-
+grade claims come from aggregates. This module groups
+:class:`~repro.analysis.results.RunResult` records by baseline (or any
+key) and reports mean/std/range per metric, plus a significance-flavored
+helper for comparing two baselines across paired workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.results import RunResult
+
+#: metrics aggregated by default.
+METRICS = ("p50_latency", "p95_latency", "mean_vmaf", "loss_rate",
+           "stall_rate", "received_fps")
+
+
+@dataclass
+class MetricSummary:
+    mean: float
+    std: float
+    low: float
+    high: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricSummary":
+        arr = np.asarray([v for v in values if not np.isnan(v)], dtype=float)
+        if arr.size == 0:
+            nan = float("nan")
+            return cls(nan, nan, nan, nan, 0)
+        return cls(float(arr.mean()), float(arr.std()),
+                   float(arr.min()), float(arr.max()), int(arr.size))
+
+
+def aggregate(results: Iterable[RunResult],
+              key: Callable[[RunResult], str] = lambda r: r.baseline,
+              metrics: Sequence[str] = METRICS) -> dict[str, dict[str, MetricSummary]]:
+    """Group results by ``key`` and summarize each metric."""
+    groups: dict[str, list[RunResult]] = {}
+    for r in results:
+        groups.setdefault(key(r), []).append(r)
+    return {
+        name: {metric: MetricSummary.of([getattr(r, metric) for r in rs])
+               for metric in metrics}
+        for name, rs in groups.items()
+    }
+
+
+@dataclass
+class PairedComparison:
+    """Paired-workload comparison of one metric between two baselines."""
+
+    metric: str
+    baseline_a: str
+    baseline_b: str
+    #: per-workload (a - b) differences.
+    diffs: list[float] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return len(self.diffs)
+
+    @property
+    def mean_diff(self) -> float:
+        return float(np.mean(self.diffs)) if self.diffs else float("nan")
+
+    @property
+    def wins(self) -> int:
+        """Workloads where A had the lower value (smaller-is-better)."""
+        return sum(1 for d in self.diffs if d < 0)
+
+    @property
+    def consistent(self) -> bool:
+        """A beat B on every paired workload (a sign-test of sorts)."""
+        return bool(self.diffs) and all(d < 0 for d in self.diffs)
+
+
+def paired_compare(results: Iterable[RunResult], baseline_a: str,
+                   baseline_b: str,
+                   metric: str = "p95_latency") -> PairedComparison:
+    """Compare two baselines on matched (trace, seed, category) workloads."""
+    by_key: dict[tuple, dict[str, RunResult]] = {}
+    for r in results:
+        workload = (r.trace, r.seed, r.category)
+        by_key.setdefault(workload, {})[r.baseline] = r
+    comparison = PairedComparison(metric=metric, baseline_a=baseline_a,
+                                  baseline_b=baseline_b)
+    for workload, by_baseline in by_key.items():
+        if baseline_a in by_baseline and baseline_b in by_baseline:
+            a = getattr(by_baseline[baseline_a], metric)
+            b = getattr(by_baseline[baseline_b], metric)
+            if not (np.isnan(a) or np.isnan(b)):
+                comparison.diffs.append(a - b)
+    return comparison
+
+
+def render_aggregate(summaries: dict[str, dict[str, MetricSummary]]) -> str:
+    """Plain-text table of aggregated metrics."""
+    metrics = list(next(iter(summaries.values())).keys()) if summaries else []
+    header = f"{'baseline':<16}" + "".join(f"{m:>22}" for m in metrics)
+    lines = [header, "-" * len(header)]
+    for name, per_metric in sorted(summaries.items()):
+        cells = []
+        for m in metrics:
+            s = per_metric[m]
+            scale = 1000.0 if "latency" in m else (100.0 if "rate" in m else 1.0)
+            unit = "ms" if "latency" in m else ("%" if "rate" in m else "")
+            cells.append(f"{s.mean * scale:8.1f}±{s.std * scale:<6.1f}{unit:<2}"
+                         f"(n={s.n})")
+        lines.append(f"{name:<16}" + "".join(f"{c:>22}" for c in cells))
+    return "\n".join(lines)

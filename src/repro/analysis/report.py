@@ -1,0 +1,97 @@
+"""Human-readable reports over session metrics and run results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.analysis.results import RunResult
+from repro.rtc.metrics import SessionMetrics
+
+
+def _fmt_ms(seconds: float) -> str:
+    if seconds is None or (isinstance(seconds, float) and np.isnan(seconds)):
+        return "n/a"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def session_report(metrics: SessionMetrics, title: str = "session") -> str:
+    """Multi-line textual summary of one run."""
+    breakdown = metrics.latency_breakdown()
+    lines = [
+        f"== {title} ==",
+        f"frames: {len(metrics.frames)} captured, "
+        f"{len(metrics.displayed_frames())} displayed "
+        f"({metrics.received_fps():.1f} fps)",
+        f"latency: p50 {_fmt_ms(metrics.latency_percentile(50))}, "
+        f"p95 {_fmt_ms(metrics.p95_latency())}, "
+        f"p99 {_fmt_ms(metrics.latency_percentile(99))}",
+        "breakdown: " + ", ".join(
+            f"{name} {_fmt_ms(value)}" for name, value in breakdown.items()),
+        f"quality: mean VMAF {metrics.mean_vmaf():.1f}",
+        f"loss: {metrics.loss_rate() * 100:.2f}% "
+        f"({metrics.packets_lost} of {metrics.packets_sent} packets, "
+        f"{metrics.packets_retransmitted} retransmitted)",
+        f"stalls: {metrics.stall_rate() * 100:.2f}% of session time",
+    ]
+    return "\n".join(lines)
+
+
+def latency_report(metrics: SessionMetrics,
+                   quantiles: tuple = (50, 75, 90, 95, 99)) -> str:
+    """Per-component latency table at the given quantiles."""
+    frames = metrics.displayed_frames()
+    if not frames:
+        return "no displayed frames"
+    comps = {
+        "e2e": [f.e2e_latency for f in frames],
+        "pacing": [f.pacing_latency or 0.0 for f in frames],
+        "network": [f.network_latency or 0.0 for f in frames],
+        "encode": [f.encode_time for f in frames],
+    }
+    header = "component  " + "  ".join(f"p{q:<4}" for q in quantiles)
+    lines = [header, "-" * len(header)]
+    for name, values in comps.items():
+        cells = "  ".join(
+            f"{np.percentile(values, q) * 1000:5.1f}" for q in quantiles)
+        lines.append(f"{name:<10} {cells}")
+    return "\n".join(lines)
+
+
+def compare_runs(results: Iterable[RunResult],
+                 reference_baseline: str = "webrtc-star") -> str:
+    """Tabulate results relative to a reference baseline.
+
+    Results are grouped by (trace, seed, category); within each group,
+    latency and quality are expressed relative to the reference (the
+    Fig. 12 reading: "X% latency cut at Y VMAF delta").
+    """
+    results = list(results)
+    groups: dict[tuple, list[RunResult]] = {}
+    for r in results:
+        groups.setdefault((r.trace, r.seed, r.category), []).append(r)
+
+    lines = []
+    for (trace, seed, category), group in sorted(groups.items()):
+        reference: Optional[RunResult] = next(
+            (r for r in group if r.baseline == reference_baseline), None)
+        lines.append(f"== {trace} seed={seed} {category} ==")
+        header = (f"{'baseline':<14}{'p95':>10}{'vs ref':>9}"
+                  f"{'VMAF':>7}{'dVMAF':>7}{'loss':>8}{'stall':>8}")
+        lines.append(header)
+        for r in sorted(group, key=lambda x: x.p95_latency):
+            if reference is not None and reference.p95_latency > 0:
+                rel = (1 - r.p95_latency / reference.p95_latency) * 100
+                rel_s = f"{rel:+.0f}%"
+                dv = r.mean_vmaf - reference.mean_vmaf
+                dv_s = f"{dv:+.1f}"
+            else:
+                rel_s, dv_s = "n/a", "n/a"
+            lines.append(
+                f"{r.baseline:<14}"
+                f"{r.p95_latency * 1000:>8.1f}ms{rel_s:>9}"
+                f"{r.mean_vmaf:>7.1f}{dv_s:>7}"
+                f"{r.loss_rate * 100:>7.2f}%{r.stall_rate * 100:>7.2f}%")
+        lines.append("")
+    return "\n".join(lines).rstrip()

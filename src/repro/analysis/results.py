@@ -1,0 +1,92 @@
+"""Serializable run results.
+
+A :class:`RunResult` captures the headline metrics of one session run
+plus enough context (baseline, trace, seed, duration) to reproduce it.
+Collections of results round-trip through JSON for archiving sweeps and
+comparing against previous runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.rtc.metrics import SessionMetrics
+
+
+@dataclass
+class RunResult:
+    """Headline metrics of one experiment run."""
+
+    baseline: str
+    trace: str
+    seed: int
+    duration: float
+    category: str = "gaming"
+    p50_latency: float = float("nan")
+    p95_latency: float = float("nan")
+    p99_latency: float = float("nan")
+    mean_latency: float = float("nan")
+    mean_vmaf: float = float("nan")
+    loss_rate: float = float("nan")
+    stall_rate: float = float("nan")
+    received_fps: float = float("nan")
+    frames: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_metrics(cls, metrics: SessionMetrics, baseline: str,
+                     trace: str, seed: int,
+                     category: str = "gaming", **extra) -> "RunResult":
+        return cls(
+            baseline=baseline,
+            trace=trace,
+            seed=seed,
+            duration=metrics.duration,
+            category=category,
+            p50_latency=metrics.latency_percentile(50),
+            p95_latency=metrics.latency_percentile(95),
+            p99_latency=metrics.latency_percentile(99),
+            mean_latency=metrics.mean_latency(),
+            mean_vmaf=metrics.mean_vmaf(),
+            loss_rate=metrics.loss_rate(),
+            stall_rate=metrics.stall_rate(),
+            received_fps=metrics.received_fps(),
+            frames=len(metrics.frames),
+            extra=dict(extra),
+        )
+
+    def key(self) -> tuple:
+        """Identity of the workload this result measured."""
+        return (self.baseline, self.trace, self.seed, self.category)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        # JSON has no NaN; store as null.
+        for k, v in d.items():
+            if isinstance(v, float) and math.isnan(v):
+                d[k] = None
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResult":
+        clean = dict(d)
+        for k, v in clean.items():
+            if v is None and k not in ("extra",):
+                clean[k] = float("nan")
+        return cls(**clean)
+
+
+def save_results(results: Iterable[RunResult], path: str | Path) -> None:
+    """Write results as a JSON list."""
+    payload = [r.to_dict() for r in results]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_results(path: str | Path) -> list[RunResult]:
+    """Read results written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    return [RunResult.from_dict(d) for d in payload]

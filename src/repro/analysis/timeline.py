@@ -1,0 +1,64 @@
+"""Per-frame timeline export for external analysis/plotting.
+
+Flattens a session's :class:`~repro.rtc.metrics.FrameMetrics` into rows
+of timestamps and derived components, and writes them as CSV — the raw
+material for custom figures beyond the built-in benches.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.rtc.metrics import SessionMetrics
+
+COLUMNS = (
+    "frame_id", "capture_time", "size_bytes", "complexity_level",
+    "quality_vmaf", "encode_time", "pacer_enqueue", "pacer_last_exit",
+    "complete_at", "displayed_at", "pacing_latency", "network_latency",
+    "e2e_latency", "had_retransmission",
+)
+
+
+def frame_rows(metrics: SessionMetrics) -> list[dict]:
+    """One dict per captured frame with all lifecycle timestamps."""
+    rows = []
+    for f in metrics.frames:
+        rows.append({
+            "frame_id": f.frame_id,
+            "capture_time": f.capture_time,
+            "size_bytes": f.size_bytes,
+            "complexity_level": f.complexity_level,
+            "quality_vmaf": round(f.quality_vmaf, 3),
+            "encode_time": f.encode_time,
+            "pacer_enqueue": f.pacer_enqueue,
+            "pacer_last_exit": f.pacer_last_exit,
+            "complete_at": f.complete_at,
+            "displayed_at": f.displayed_at,
+            "pacing_latency": f.pacing_latency,
+            "network_latency": f.network_latency,
+            "e2e_latency": f.e2e_latency,
+            "had_retransmission": f.had_retransmission,
+        })
+    return rows
+
+
+def to_csv(metrics: SessionMetrics, path: Optional[str | Path] = None) -> str:
+    """Render the timeline as CSV; optionally write it to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=COLUMNS)
+    writer.writeheader()
+    for row in frame_rows(metrics):
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def load_csv(path: str | Path) -> list[dict]:
+    """Read a timeline CSV back into dict rows (strings untyped)."""
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))

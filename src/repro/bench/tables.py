@@ -1,0 +1,61 @@
+"""Plain-text table/series formatting for bench output."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def fmt_ms(seconds: float) -> str:
+    """Format a duration in milliseconds."""
+    if seconds is None or (isinstance(seconds, float) and math.isnan(seconds)):
+        return "n/a"
+    return f"{seconds * 1000:.1f}"
+
+
+def fmt_pct(fraction: float) -> str:
+    if fraction is None or (isinstance(fraction, float) and math.isnan(fraction)):
+        return "n/a"
+    return f"{fraction * 100:.2f}%"
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print an aligned table with a title banner."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def print_series(title: str, xs: Sequence[float], ys: Sequence[float],
+                 x_label: str = "x", y_label: str = "y",
+                 max_points: int = 25) -> None:
+    """Print an (x, y) series, downsampled to at most ``max_points``."""
+    n = len(xs)
+    step = max(1, n // max_points)
+    print()
+    print(f"=== {title} ===")
+    print(f"{x_label:>12}  {y_label}")
+    for i in range(0, n, step):
+        print(f"{xs[i]:>12.4g}  {ys[i]:.4g}")
+
+
+def cdf_points(values: Sequence[float],
+               quantiles: Sequence[float] = (5, 10, 25, 50, 75, 90, 95, 99, 99.9)
+               ) -> list[tuple[float, float]]:
+    """(quantile, value) pairs for printing CDF-style figures."""
+    import numpy as np
+
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return []
+    return [(q, float(np.percentile(vals, q))) for q in quantiles]

@@ -1,0 +1,246 @@
+"""Command-line interface: run sessions and comparisons without code.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro list                      # baselines & trace classes
+    python -m repro run --baseline ace --trace wifi --duration 20
+    python -m repro compare --baselines ace,webrtc-star,cbr --trace wifi
+    python -m repro sweep-rtt --baseline ace --rtts 10,20,40,80
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.tables import fmt_ms, fmt_pct, print_table
+from repro.net.trace import (
+    BandwidthTrace,
+    make_4g_trace,
+    make_5g_trace,
+    make_campus_wifi_trace,
+    make_weak_network_trace,
+    make_wifi_trace,
+)
+from repro.rtc.baselines import build_session, list_baselines
+from repro.rtc.session import SessionConfig
+from repro.sim.rng import RngStream
+from repro.video.source import CONTENT_CATEGORIES
+
+TRACE_MAKERS = {
+    "wifi": make_wifi_trace,
+    "4g": make_4g_trace,
+    "5g": make_5g_trace,
+    "campus": make_campus_wifi_trace,
+}
+
+
+def make_trace(kind: str, seed: int, duration: float) -> BandwidthTrace:
+    """Build a trace by class name, or a constant one via 'const:<mbps>'."""
+    if kind.startswith("const:"):
+        mbps = float(kind.split(":", 1)[1])
+        return BandwidthTrace.constant(mbps * 1e6, duration=duration)
+    if kind.startswith("weak:"):
+        venue = kind.split(":", 1)[1]
+        return make_weak_network_trace(RngStream(seed, f"cli.{kind}"),
+                                       duration=duration, venue=venue)
+    if kind not in TRACE_MAKERS:
+        raise SystemExit(
+            f"unknown trace {kind!r}: choose from {sorted(TRACE_MAKERS)}, "
+            "'const:<mbps>', or 'weak:<venue>'")
+    return TRACE_MAKERS[kind](RngStream(seed, f"cli.{kind}"), duration=duration)
+
+
+def run_one(baseline: str, args: argparse.Namespace):
+    trace = make_trace(args.trace, args.seed, args.duration + 10)
+    config = SessionConfig(
+        duration=args.duration, seed=args.seed, fps=args.fps,
+        base_rtt=args.rtt / 1000.0, initial_bwe_bps=args.initial_bwe * 1e6,
+    )
+    session = build_session(baseline, trace, config, category=args.category,
+                            cc_override=args.cc, codec_override=args.codec)
+    return session.run()
+
+
+def metrics_row(name: str, m) -> list[str]:
+    return [
+        name,
+        fmt_ms(m.p95_latency()),
+        fmt_ms(m.latency_percentile(50)),
+        f"{m.mean_vmaf():.1f}",
+        fmt_pct(m.loss_rate()),
+        fmt_pct(m.stall_rate()),
+        f"{m.received_fps():.1f}",
+    ]
+
+
+HEADERS = ["baseline", "p95 ms", "p50 ms", "VMAF", "loss", "stall", "fps"]
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("baselines:")
+    for name in list_baselines():
+        print(f"  {name}")
+    print("\ntrace classes:", ", ".join(sorted(TRACE_MAKERS)),
+          "+ const:<mbps>, weak:<canteen|coffee_shop|airport>")
+    print("content categories:", ", ".join(CONTENT_CATEGORIES))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    metrics = run_one(args.baseline, args)
+    print_table(f"{args.baseline} over {args.trace} "
+                f"({args.duration:.0f}s, {args.category})",
+                HEADERS, [metrics_row(args.baseline, metrics)])
+    breakdown = metrics.latency_breakdown()
+    print_table("mean latency breakdown",
+                ["component", "ms"],
+                [[k, fmt_ms(v)] for k, v in breakdown.items()])
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for baseline in args.baselines.split(","):
+        baseline = baseline.strip()
+        metrics = run_one(baseline, args)
+        rows.append(metrics_row(baseline, metrics))
+    print_table(f"comparison over {args.trace} "
+                f"({args.duration:.0f}s, {args.category})", HEADERS, rows)
+    return 0
+
+
+def cmd_sweep_rtt(args: argparse.Namespace) -> int:
+    rows = []
+    for rtt_ms in (float(x) for x in args.rtts.split(",")):
+        args.rtt = rtt_ms
+        metrics = run_one(args.baseline, args)
+        rows.append([f"{rtt_ms:g}"] + metrics_row(args.baseline, metrics)[1:])
+    print_table(f"{args.baseline}: RTT sweep over {args.trace}",
+                ["RTT ms"] + HEADERS[1:], rows)
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.analysis import RunResult, compare_runs, save_results
+
+    results = []
+    for trace_kind in args.traces.split(","):
+        trace_kind = trace_kind.strip()
+        args.trace = trace_kind
+        for baseline in args.baselines.split(","):
+            baseline = baseline.strip()
+            metrics = run_one(baseline, args)
+            results.append(RunResult.from_metrics(
+                metrics, baseline=baseline, trace=trace_kind,
+                seed=args.seed, category=args.category))
+    print(compare_runs(results, reference_baseline=args.reference))
+    if args.out:
+        save_results(results, args.out)
+        print(f"\nwrote {len(results)} results to {args.out}")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_runs, save_results
+    from repro.scenarios import get_scenario, list_scenarios, run_scenario
+
+    if args.name is None:
+        print("scenarios:")
+        for name in list_scenarios():
+            print(f"  {name:<16} {get_scenario(name).description}")
+        return 0
+    results = run_scenario(args.name, seed=args.seed,
+                           duration=args.duration, category=args.category)
+    reference = ("webrtc-star"
+                 if any(r.baseline == "webrtc-star" for r in results)
+                 else results[0].baseline)
+    print(compare_runs(results, reference_baseline=reference))
+    if args.out:
+        save_results(results, args.out)
+        print(f"\nwrote {len(results)} results to {args.out}")
+    return 0
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default="wifi",
+                   help="wifi|4g|5g|campus|const:<mbps>|weak:<venue>")
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--fps", type=float, default=30.0)
+    p.add_argument("--rtt", type=float, default=30.0, help="base RTT in ms")
+    p.add_argument("--category", default="gaming",
+                   choices=sorted(CONTENT_CATEGORIES))
+    p.add_argument("--initial-bwe", type=float, default=6.0,
+                   dest="initial_bwe", help="initial BWE in Mbps")
+    p.add_argument("--cc", default=None,
+                   help="override congestion controller (gcc|bbr|copa|delivery)")
+    p.add_argument("--codec", default=None,
+                   help="override codec model (x264|x265|vp8|vp9|av1)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACE (SIGCOMM'25) reproduction — experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list baselines/traces/categories") \
+       .set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one baseline")
+    p_run.add_argument("--baseline", required=True)
+    _add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run several baselines on one workload")
+    p_cmp.add_argument("--baselines", required=True,
+                       help="comma-separated baseline names")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_rtt = sub.add_parser("sweep-rtt", help="sweep the base RTT")
+    p_rtt.add_argument("--baseline", required=True)
+    p_rtt.add_argument("--rtts", default="10,20,40,80,160",
+                       help="comma-separated RTTs in ms")
+    _add_common(p_rtt)
+    p_rtt.set_defaults(func=cmd_sweep_rtt)
+
+    p_eval = sub.add_parser(
+        "evaluate",
+        help="condensed Fig. 12 evaluation (baselines x trace classes), "
+             "optionally persisted to JSON")
+    p_eval.add_argument("--baselines",
+                        default="ace,webrtc-star,cbr,webrtc-b",
+                        help="comma-separated baseline names")
+    p_eval.add_argument("--traces", default="wifi,4g,5g",
+                        help="comma-separated trace kinds")
+    p_eval.add_argument("--out", default=None,
+                        help="write RunResult JSON to this path")
+    p_eval.add_argument("--reference", default="webrtc-star",
+                        help="baseline the comparison is relative to")
+    _add_common(p_eval)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_sc = sub.add_parser("scenario",
+                          help="run a named paper-experiment scenario")
+    p_sc.add_argument("name", nargs="?", default=None,
+                      help="scenario name (omit to list)")
+    p_sc.add_argument("--seed", type=int, default=3)
+    p_sc.add_argument("--duration", type=float, default=None)
+    p_sc.add_argument("--category", default=None)
+    p_sc.add_argument("--out", default=None,
+                      help="write RunResult JSON to this path")
+    p_sc.set_defaults(func=cmd_scenario)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""In-network queue estimation from RTT and PacketPair capacity.
+
+ACE-N cannot see the bottleneck buffer; it infers it (§4.1): queueing
+delay is the standing RTT above the minimum (the Copa-style estimator),
+and queue *size* is that delay multiplied by the bottleneck capacity,
+with capacity from the PacketPair algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.net.packet_pair import PacketPairEstimator
+from repro.transport.feedback import FeedbackMessage
+
+
+@dataclass
+class QueueEstimate:
+    """One queue-size estimate with its ingredients (for the benches)."""
+
+    time: float
+    queue_bytes: float
+    queue_delay: float
+    capacity_bps: Optional[float]
+    rtt_standing: Optional[float]
+    rtt_min: Optional[float]
+
+
+class QueueEstimator:
+    """Tracks RTT_min / standing RTT and converts delay to queued bytes.
+
+    One-way feedback only carries (send, arrival) pairs; adding the
+    (known, fixed) reverse propagation gives an RTT-equivalent signal.
+    The *standing* RTT is the minimum over a short recent window — robust
+    to jitter while still tracking queue build-up (Copa's trick).
+    """
+
+    def __init__(self, standing_window_s: float = 0.1,
+                 default_capacity_bps: float = 10_000_000.0) -> None:
+        self.standing_window_s = standing_window_s
+        self.default_capacity_bps = default_capacity_bps
+        self.packet_pair = PacketPairEstimator()
+        self._rtt_min: Optional[float] = None
+        self._recent_rtts: Deque[tuple[float, float]] = deque()
+        self.estimates: list[QueueEstimate] = []
+
+    # ------------------------------------------------------------------
+    # signal ingestion
+    # ------------------------------------------------------------------
+    def on_feedback(self, message: FeedbackMessage, now: float,
+                    reverse_delay: float = 0.0) -> None:
+        """Feed a transport feedback batch (reports in arrival order)."""
+        for report in sorted(message.reports, key=lambda r: r.arrival_time):
+            rtt = report.one_way_delay + reverse_delay
+            if rtt <= 0:
+                continue
+            if self._rtt_min is None or rtt < self._rtt_min:
+                self._rtt_min = rtt
+            self._recent_rtts.append((report.arrival_time, rtt))
+            self.packet_pair.on_packet(report.send_time, report.arrival_time,
+                                       report.size_bytes)
+        horizon = now - self.standing_window_s
+        while self._recent_rtts and self._recent_rtts[0][0] < horizon:
+            self._recent_rtts.popleft()
+
+    # ------------------------------------------------------------------
+    # estimates
+    # ------------------------------------------------------------------
+    @property
+    def rtt_min(self) -> Optional[float]:
+        return self._rtt_min
+
+    def rtt_standing(self) -> Optional[float]:
+        """Minimum RTT over the recent window (filters out jitter spikes)."""
+        if not self._recent_rtts:
+            return None
+        return min(rtt for _, rtt in self._recent_rtts)
+
+    def capacity_bps(self) -> float:
+        """PacketPair capacity, falling back to a configured default."""
+        cap = self.packet_pair.capacity_bps()
+        return cap if cap is not None else self.default_capacity_bps
+
+    def queue_delay(self) -> float:
+        """Estimated queueing delay: standing RTT minus RTT_min."""
+        standing = self.rtt_standing()
+        if standing is None or self._rtt_min is None:
+            return 0.0
+        return max(0.0, standing - self._rtt_min)
+
+    def queue_bytes(self, now: float) -> float:
+        """Estimated in-network queue size in bytes (records history)."""
+        delay = self.queue_delay()
+        capacity = self.capacity_bps()
+        queue = delay * capacity / 8.0
+        self.estimates.append(QueueEstimate(
+            time=now, queue_bytes=queue, queue_delay=delay,
+            capacity_bps=self.packet_pair.capacity_bps(),
+            rtt_standing=self.rtt_standing(), rtt_min=self._rtt_min,
+        ))
+        return queue
+
+    def peak_queue_bytes(self) -> float:
+        """Peak queue estimate over the recent window (max RTT based).
+
+        The standing (min-filtered) estimate deliberately ignores
+        transient spikes; the *peak* is what matters when remembering the
+        queue level that preceded a loss — at overflow time the queue was
+        near the buffer limit, which only the max-RTT view captures.
+        """
+        if not self._recent_rtts or self._rtt_min is None:
+            return 0.0
+        peak_rtt = max(rtt for _, rtt in self._recent_rtts)
+        delay = max(0.0, peak_rtt - self._rtt_min)
+        return delay * self.capacity_bps() / 8.0
+
+    def queue_is_empty(self) -> bool:
+        """True when the standing RTT has returned to the propagation floor."""
+        standing = self.rtt_standing()
+        if standing is None or self._rtt_min is None:
+            return True
+        # Within half a serialization-ish jitter margin of the floor.
+        return (standing - self._rtt_min) < 0.002

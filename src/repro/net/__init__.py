@@ -1,0 +1,44 @@
+"""Network substrate: packets, traces, links, paths, cross traffic.
+
+This package emulates what the paper drives with Mahimahi: a variable-
+rate bottleneck link with a drop-tail queue, fixed propagation delay,
+and an uncongested feedback (ack) path. Bandwidth traces follow the
+paper's trace format — one available-bandwidth sample every 200 ms.
+"""
+
+from repro.net.packet import Packet, PacketType
+from repro.net.trace import (
+    BandwidthTrace,
+    TraceLibrary,
+    make_4g_trace,
+    make_5g_trace,
+    make_campus_wifi_trace,
+    make_step_trace,
+    make_weak_network_trace,
+    make_wifi_trace,
+)
+from repro.net.link import DropTailQueue, Link, LinkStats
+from repro.net.path import NetworkPath, PathConfig
+from repro.net.packet_pair import PacketPairEstimator
+from repro.net.cross_traffic import CrossTrafficFlow, PageLoadGenerator
+
+__all__ = [
+    "Packet",
+    "PacketType",
+    "BandwidthTrace",
+    "TraceLibrary",
+    "make_wifi_trace",
+    "make_4g_trace",
+    "make_5g_trace",
+    "make_campus_wifi_trace",
+    "make_weak_network_trace",
+    "make_step_trace",
+    "DropTailQueue",
+    "Link",
+    "LinkStats",
+    "NetworkPath",
+    "PathConfig",
+    "PacketPairEstimator",
+    "CrossTrafficFlow",
+    "PageLoadGenerator",
+]

@@ -1,0 +1,178 @@
+"""Trace-driven bottleneck link with a drop-tail queue.
+
+This mirrors the Mahimahi configuration in the paper's testbed: the
+receiver's downlink is a variable-rate bottleneck with a drop-tail queue
+of fixed byte capacity (100 KB in all experiments). Packets serialize at
+the instantaneous trace rate; when the queue is full, arrivals are
+dropped from the tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro.net.packet import Packet
+from repro.net.trace import BandwidthTrace
+from repro.sim.events import EventLoop
+
+#: The paper fixes the emulated network buffer at 100 KB for all main
+#: experiments (§6.1).
+DEFAULT_QUEUE_CAPACITY_BYTES = 100_000
+
+
+@dataclass
+class LinkStats:
+    """Counters and samples collected by a :class:`Link`."""
+
+    enqueued_packets: int = 0
+    delivered_packets: int = 0
+    dropped_packets: int = 0
+    enqueued_bytes: int = 0
+    delivered_bytes: int = 0
+    dropped_bytes: int = 0
+    busy_time: float = 0.0
+    #: (time, queue_bytes) samples taken at every enqueue/dequeue.
+    occupancy_samples: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.enqueued_packets + self.dropped_packets
+        return self.dropped_packets / total if total else 0.0
+
+
+class DropTailQueue:
+    """FIFO byte-bounded queue; arrivals beyond capacity are dropped."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_QUEUE_CAPACITY_BYTES) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        return self._bytes
+
+    @property
+    def headroom_bytes(self) -> int:
+        return self.capacity_bytes - self._bytes
+
+    def try_push(self, packet: Packet) -> bool:
+        """Append ``packet`` if it fits; return False (drop) otherwise."""
+        if self._bytes + packet.size_bytes > self.capacity_bytes:
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        return True
+
+    def pop(self) -> Packet:
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
+
+class Link:
+    """Single-server bottleneck: serialize packets at the trace rate.
+
+    ``on_deliver(packet)`` fires when a packet finishes serialization;
+    ``on_drop(packet)`` fires on tail drop. The serialization time of a
+    packet is computed from the trace rate at service start — fine at the
+    paper's 200 ms trace granularity, where thousands of packets share
+    each rate sample.
+    """
+
+    def __init__(self, loop: EventLoop, trace: BandwidthTrace,
+                 queue_capacity_bytes: int = DEFAULT_QUEUE_CAPACITY_BYTES,
+                 on_deliver: Optional[Callable[[Packet], None]] = None,
+                 on_drop: Optional[Callable[[Packet], None]] = None) -> None:
+        self.loop = loop
+        self.trace = trace
+        self.queue = DropTailQueue(queue_capacity_bytes)
+        self.on_deliver = on_deliver
+        self.on_drop = on_drop
+        self.stats = LinkStats()
+        self._busy = False
+        self._service_started_at = 0.0
+
+    @property
+    def rate_now(self) -> float:
+        """Instantaneous link rate in bits/second."""
+        return self.trace.rate_at(self.loop.now)
+
+    @property
+    def queued_bytes(self) -> int:
+        return self.queue.bytes_queued
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self.queue)
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link; returns False if tail-dropped."""
+        packet.t_enter_queue = self.loop.now
+        if not self.queue.try_push(packet):
+            packet.dropped = True
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size_bytes
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return False
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size_bytes
+        self._sample_occupancy()
+        if not self._busy:
+            self._start_service()
+        return True
+
+    def _sample_occupancy(self) -> None:
+        self.stats.occupancy_samples.append((self.loop.now, self.queue.bytes_queued))
+
+    def _start_service(self) -> None:
+        packet = self.queue.peek()
+        if packet is None:
+            self._busy = False
+            return
+        rate = self.rate_now
+        if rate <= 0:
+            # Outage: retry when the next trace sample may have capacity.
+            self._busy = True
+            self.loop.call_later(0.05, self._retry_service, name="link.outage-retry")
+            return
+        self._busy = True
+        self._service_started_at = self.loop.now
+        serialization = packet.size_bytes * 8 / rate
+        self.loop.call_later(serialization, self._finish_service, name="link.serve")
+
+    def _retry_service(self) -> None:
+        self._busy = False
+        if self.queue.peek() is not None:
+            self._start_service()
+
+    def _finish_service(self) -> None:
+        packet = self.queue.pop()
+        now = self.loop.now
+        packet.t_leave_queue = now
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size_bytes
+        self.stats.busy_time += now - self._service_started_at
+        self._sample_occupancy()
+        if self.on_deliver is not None:
+            self.on_deliver(packet)
+        if self.queue.peek() is not None:
+            self._start_service()
+        else:
+            self._busy = False
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of elapsed time the link spent serializing packets."""
+        elapsed = horizon if horizon is not None else self.loop.now
+        return self.stats.busy_time / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,90 @@
+"""Packet model shared by the transport and network layers."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Default RTP payload size used throughout the reproduction. The paper's
+#: WebRTC stack packetizes video into ~1200-byte payloads inside a
+#: 1500-byte MTU.
+DEFAULT_MTU_BYTES = 1500
+DEFAULT_PAYLOAD_BYTES = 1200
+
+_packet_ids = itertools.count(1)
+
+
+class PacketType(enum.Enum):
+    """What a packet carries; the link treats all types identically."""
+
+    VIDEO = "video"
+    RETRANSMIT = "rtx"
+    PROBE = "probe"
+    CROSS = "cross"
+    FEEDBACK = "feedback"
+
+
+@dataclass
+class Packet:
+    """A single packet travelling sender → receiver (or back, for feedback).
+
+    Timestamps are filled in as the packet moves through the pipeline so
+    that latency can be decomposed exactly the way the paper's Fig. 6
+    breakdown does (pacing vs. network vs. retransmission).
+    """
+
+    size_bytes: int
+    ptype: PacketType = PacketType.VIDEO
+    seq: int = -1                       # transport sequence number
+    frame_id: int = -1                  # owning video frame, -1 for non-video
+    frame_packet_index: int = 0         # index of this packet within its frame
+    frame_packet_count: int = 0         # total packets in the frame
+    flow_id: int = 0                    # 0 = the RTC flow, >0 = cross traffic
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    # --- timestamps (simulation seconds; None until the event happens) ---
+    t_enqueue_pacer: Optional[float] = None
+    t_leave_pacer: Optional[float] = None
+    t_enter_queue: Optional[float] = None
+    t_leave_queue: Optional[float] = None
+    t_arrival: Optional[float] = None
+
+    # --- bookkeeping ---
+    dropped: bool = False
+    retransmission_of: Optional[int] = None  # original seq for RTX packets
+
+    @property
+    def pacing_delay(self) -> Optional[float]:
+        """Time spent waiting in the sender's pacer, if known."""
+        if self.t_enqueue_pacer is None or self.t_leave_pacer is None:
+            return None
+        return self.t_leave_pacer - self.t_enqueue_pacer
+
+    @property
+    def queue_delay(self) -> Optional[float]:
+        """Time spent in the in-network (bottleneck) queue, if known."""
+        if self.t_enter_queue is None or self.t_leave_queue is None:
+            return None
+        return self.t_leave_queue - self.t_enter_queue
+
+    @property
+    def one_way_delay(self) -> Optional[float]:
+        """Pacer-exit to arrival delay, if the packet arrived."""
+        if self.t_leave_pacer is None or self.t_arrival is None:
+            return None
+        return self.t_arrival - self.t_leave_pacer
+
+    def clone_for_retransmission(self) -> "Packet":
+        """Build a fresh packet carrying the same payload metadata."""
+        return Packet(
+            size_bytes=self.size_bytes,
+            ptype=PacketType.RETRANSMIT,
+            seq=-1,
+            frame_id=self.frame_id,
+            frame_packet_index=self.frame_packet_index,
+            frame_packet_count=self.frame_packet_count,
+            flow_id=self.flow_id,
+            retransmission_of=self.seq if self.retransmission_of is None else self.retransmission_of,
+        )

@@ -1,0 +1,76 @@
+"""PacketPair bottleneck-capacity estimation (Keshav, 1995).
+
+ACE-N needs the bottleneck link capacity to convert queueing *delay*
+into queue *size* (§4.1: "queue size is calculated by multiplying RTT
+with the current link capacity, which is determined using the
+widely-used PacketPair algorithm"). When two back-to-back packets cross
+a bottleneck, their arrival spacing equals the serialization time of the
+second packet at the bottleneck rate; capacity = size / spacing.
+
+The estimator consumes (send_time, arrival_time, size) observations from
+transport feedback, selects pairs that were sent back-to-back, and
+applies a robust filter (windowed median) over the implied capacities.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+import numpy as np
+
+#: Pairs must be sent within this gap to count as back-to-back.
+BACK_TO_BACK_GAP_S = 0.0005
+
+
+@dataclass
+class _PacketObs:
+    send_time: float
+    arrival_time: float
+    size_bytes: int
+
+
+class PacketPairEstimator:
+    """Windowed-median PacketPair capacity estimator."""
+
+    def __init__(self, window: int = 50, min_samples: int = 3,
+                 back_to_back_gap: float = BACK_TO_BACK_GAP_S) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.min_samples = min_samples
+        self.back_to_back_gap = back_to_back_gap
+        self._last: Optional[_PacketObs] = None
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def on_packet(self, send_time: float, arrival_time: float,
+                  size_bytes: int) -> None:
+        """Feed one (send, arrival, size) observation, in arrival order."""
+        obs = _PacketObs(send_time, arrival_time, size_bytes)
+        last = self._last
+        self._last = obs
+        if last is None:
+            return
+        send_gap = obs.send_time - last.send_time
+        arrival_gap = obs.arrival_time - last.arrival_time
+        if send_gap < 0 or arrival_gap <= 0:
+            return  # reordered or simultaneous; unusable
+        if send_gap > self.back_to_back_gap:
+            return  # not a back-to-back pair
+        capacity = obs.size_bytes * 8 / arrival_gap
+        self._samples.append(capacity)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def capacity_bps(self) -> Optional[float]:
+        """Current capacity estimate, or None before ``min_samples`` pairs."""
+        if len(self._samples) < self.min_samples:
+            return None
+        return float(np.median(self._samples))
+
+    def reset(self) -> None:
+        self._last = None
+        self._samples.clear()

@@ -1,0 +1,244 @@
+"""Session runner: wires sender, receiver, path and metrics together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.ace_c import AceCConfig, AceCController
+from repro.core.ace_n import AceNConfig, AceNController
+from repro.net.cross_traffic import PageLoadGenerator
+from repro.net.packet import Packet, PacketType
+from repro.net.path import NetworkPath, PathConfig
+from repro.net.trace import BandwidthTrace
+from repro.rtc.metrics import SessionMetrics
+from repro.rtc.sender import Sender, SenderConfig
+from repro.sim.events import EventLoop
+from repro.sim.rng import SeedSequenceFactory
+from repro.transport.cc.base import CongestionController
+from repro.transport.cc.gcc import GccController
+from repro.transport.pacer.base import Pacer
+from repro.transport.audio import AudioReceiver
+from repro.transport.receiver import TransportReceiver
+from repro.video.codec.model import CodecModel
+from repro.video.codec.rate_control import RateControl
+
+
+@dataclass
+class SessionConfig:
+    """Knobs of one experiment run."""
+
+    duration: float = 30.0
+    seed: int = 1
+    fps: float = 30.0
+    base_rtt: float = 0.03
+    queue_capacity_bytes: int = 100_000
+    random_loss_rate: float = 0.0
+    cross_traffic: bool = False
+    cross_traffic_interarrival: float = 8.0
+    #: weak-venue contention loss (see PathConfig.contention_loss_rate).
+    contention_loss_rate: float = 0.0
+    #: per-packet forward delay jitter std-dev (PathConfig.delay_jitter_std).
+    delay_jitter_std: float = 0.0
+    #: multiplex a top-priority Opus-style audio substream.
+    audio: bool = False
+    initial_bwe_bps: float = 4_000_000.0
+    #: product-style cap on the bandwidth estimate (WebRTC deployments
+    #: configure a max video bitrate; the paper's cloud-gaming context
+    #: runs at up to ~30 Mbps).
+    max_bwe_bps: float = 30_000_000.0
+
+
+class RtcSession:
+    """One sender/receiver pair over an emulated path.
+
+    Construction takes *factories* so each session owns fresh component
+    state; :meth:`run` executes the event loop and returns
+    :class:`SessionMetrics`.
+    """
+
+    def __init__(self, trace: BandwidthTrace, config: SessionConfig,
+                 source_factory: Callable[[SeedSequenceFactory], object],
+                 codec_factory: Callable[[SeedSequenceFactory], CodecModel],
+                 rate_control_factory: Callable[[], RateControl],
+                 pacer_factory: Callable[[EventLoop, Callable[[Packet], None]], Pacer],
+                 cc_factory: Optional[Callable[[], CongestionController]] = None,
+                 sender_config: Optional[SenderConfig] = None,
+                 ace_n_config: Optional[AceNConfig] = None,
+                 ace_c_config: Optional[AceCConfig] = None) -> None:
+        self.trace = trace
+        self.config = config
+        self.loop = EventLoop()
+        self.rngs = SeedSequenceFactory(config.seed)
+
+        path_config = PathConfig(
+            base_rtt=config.base_rtt,
+            queue_capacity_bytes=config.queue_capacity_bytes,
+            random_loss_rate=config.random_loss_rate,
+            contention_loss_rate=config.contention_loss_rate,
+            delay_jitter_std=config.delay_jitter_std,
+        )
+        self.path = NetworkPath(self.loop, trace, path_config,
+                                rng=self.rngs.stream("path.loss"))
+
+        self.codec = codec_factory(self.rngs)
+        self.source = source_factory(self.rngs)
+        sender_cfg = sender_config or SenderConfig(fps=config.fps)
+        sender_cfg.fps = config.fps
+
+        self.cc = cc_factory() if cc_factory is not None else GccController(
+            initial_bwe_bps=config.initial_bwe_bps)
+        if self.cc.bwe_bps != config.initial_bwe_bps and cc_factory is None:
+            pass
+
+        pacer = pacer_factory(self.loop, self.path.send)
+        pacer.set_pacing_rate(self.cc.bwe_bps)
+
+        ace_n = None
+        if sender_cfg.ace_n_enabled:
+            ace_n = AceNController(ace_n_config or AceNConfig())
+        ace_c = None
+        if sender_cfg.ace_c_enabled:
+            levels = self.codec.config.levels
+            if ace_c_config is None:
+                # "Empirical values" for the complexity factors come from
+                # the offline per-codec calibration (Fig. 4): seed phi
+                # and delta_Te with the encoder's measured level curves.
+                budget_bits = config.initial_bwe_bps / config.fps
+                base_time = levels[0].encode_time(budget_bits)
+                ace_c_config = AceCConfig(
+                    initial_phi=tuple(l.phi for l in levels),
+                    initial_delta_te=tuple(
+                        max(0.0, l.encode_time(budget_bits) - base_time)
+                        for l in levels),
+                )
+            ace_c = AceCController(num_levels=len(levels), fps=config.fps,
+                                   config=ace_c_config)
+
+        self.sender = Sender(
+            self.loop, self.source, self.codec, rate_control_factory(),
+            pacer, self.cc, self.path, config=sender_cfg,
+            ace_c=ace_c, ace_n=ace_n,
+        )
+        self.receiver = TransportReceiver(
+            self.loop,
+            send_feedback_fn=self.path.send_feedback,
+            decode_time_fn=self.codec.decode_time,
+        )
+        self.audio_receiver = AudioReceiver(self.loop)
+        self.cross_traffic: Optional[PageLoadGenerator] = None
+        if config.cross_traffic:
+            self.cross_traffic = PageLoadGenerator(
+                self.loop, self.path.send, self.rngs.stream("cross"),
+                mean_interarrival=config.cross_traffic_interarrival,
+                rtt_estimate=config.base_rtt,
+            )
+
+        self.path.on_arrival = self._on_arrival
+        self.path.on_feedback = self._on_feedback
+        self.path.on_drop = self._on_drop
+        self._media_drops = 0
+        self._finished = False
+        self._display_sync_cursor = 0
+
+    # ------------------------------------------------------------------
+    # path callbacks
+    # ------------------------------------------------------------------
+    def _on_arrival(self, packet: Packet) -> None:
+        if packet.ptype == PacketType.CROSS:
+            if self.cross_traffic is not None:
+                self.cross_traffic.on_delivered(packet)
+            return
+        if self.audio_receiver.on_packet(packet):
+            return
+        self.receiver.on_packet(packet)
+        # Any frames that just became displayable get their sender-side
+        # metrics stamped here.
+        self._sync_display_times()
+
+    def _sync_display_times(self) -> None:
+        # Only walk frames displayed since the previous sync (the
+        # receiver appends in display order), keeping this O(1) amortized
+        # per arrival instead of rescanning the whole session.
+        displayed = self.receiver.displayed
+        while self._display_sync_cursor < len(displayed):
+            record = displayed[self._display_sync_cursor]
+            self._display_sync_cursor += 1
+            metrics = self.sender.frame_metrics.get(record.frame_id)
+            if metrics is not None and metrics.displayed_at is None:
+                metrics.complete_at = record.complete_at
+                metrics.displayed_at = record.displayed_at
+                metrics.had_retransmission = record.had_retransmission
+                self.sender.forget_frame(record.frame_id)
+
+    def _on_feedback(self, message) -> None:
+        self.sender.on_feedback(message)
+
+    def _on_drop(self, packet: Packet) -> None:
+        if packet.ptype == PacketType.CROSS:
+            if self.cross_traffic is not None:
+                self.cross_traffic.on_dropped(packet)
+            return
+        self._media_drops += 1
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self) -> SessionMetrics:
+        """Execute the session and aggregate metrics."""
+        if self._finished:
+            raise RuntimeError("session already ran; build a new one")
+        # Receiver must know frame metadata as frames are captured; hook
+        # the sender's metrics dict in lazily via a periodic sync.
+        self.receiver.frame_capture_time = _CaptureTimeView(self.sender)
+        self.receiver.frame_quality = _QualityView(self.sender)
+        self.sender.start()
+        self.receiver.start()
+        if self.cross_traffic is not None:
+            self.cross_traffic.start()
+        self.loop.run(until=self.config.duration)
+        self.sender.stop()
+        if self.cross_traffic is not None:
+            self.cross_traffic.stop()
+        # Let in-flight packets and feedback land (half a second of drain).
+        self.loop.run(until=self.config.duration + 0.5)
+        self._sync_display_times()
+        self._finished = True
+        return self._collect()
+
+    def _collect(self) -> SessionMetrics:
+        metrics = SessionMetrics(duration=self.config.duration)
+        metrics.frames = [self.sender.frame_metrics[fid]
+                          for fid in sorted(self.sender.frame_metrics)]
+        metrics.packets_sent = self.sender.pacer.stats.sent_packets
+        metrics.packets_lost = sum(
+            1 for p in self.path.lost_packets if p.ptype != PacketType.CROSS)
+        metrics.packets_retransmitted = self.sender.retransmissions
+        metrics.send_events = list(self.sender.send_events)
+        metrics.bwe_history = [(s.time, s.bwe_bps) for s in self.cc.history]
+        metrics.bandwidth_fn = self.trace.rate_at
+        return metrics
+
+
+class _CaptureTimeView(dict):
+    """Lazy view mapping frame_id -> capture time from sender metrics."""
+
+    def __init__(self, sender: Sender) -> None:
+        super().__init__()
+        self._sender = sender
+
+    def get(self, frame_id, default=None):
+        metrics = self._sender.frame_metrics.get(frame_id)
+        return metrics.capture_time if metrics is not None else default
+
+
+class _QualityView(dict):
+    """Lazy view mapping frame_id -> VMAF from sender metrics."""
+
+    def __init__(self, sender: Sender) -> None:
+        super().__init__()
+        self._sender = sender
+
+    def get(self, frame_id, default=0.0):
+        metrics = self._sender.frame_metrics.get(frame_id)
+        return metrics.quality_vmaf if metrics is not None else default

@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation engine.
+
+This package provides the substrate every other subsystem runs on: a
+priority-queue event loop (:class:`EventLoop`), a simulation clock, and
+seeded random-number streams so that experiments are reproducible
+bit-for-bit across runs.
+"""
+
+from repro.sim.events import Event, EventLoop, SimulationError
+from repro.sim.rng import RngStream, SeedSequenceFactory
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "SimulationError",
+    "RngStream",
+    "SeedSequenceFactory",
+]

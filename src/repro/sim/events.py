@@ -1,0 +1,136 @@
+"""Priority-queue discrete-event loop.
+
+All timing-sensitive behaviour in the reproduction (pacing, link
+serialization, feedback, encoder completion) is expressed as events on a
+single :class:`EventLoop`. Events fire in non-decreasing time order;
+ties break by insertion order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the event loop (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is a monotonically
+    increasing insertion counter so that two events at the same time fire
+    in the order they were scheduled.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Single-threaded deterministic discrete-event scheduler.
+
+    Typical use::
+
+        loop = EventLoop()
+        loop.call_at(0.5, lambda: print("fired at t=0.5"))
+        loop.run(until=1.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def call_at(self, when: float, callback: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Scheduling strictly in the past raises :class:`SimulationError`;
+        scheduling exactly at ``now`` is allowed and fires after events
+        already queued for ``now``.
+        """
+        if math.isnan(when):
+            raise SimulationError("cannot schedule an event at NaN time")
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at {when:.9f} < now {self._now:.9f}"
+            )
+        event = Event(time=when, seq=next(self._counter), callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` seconds (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {name!r}")
+        return self.call_at(self._now + delay, callback, name=name)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event. Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or the budget hits.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` fire.
+        When the loop stops because of ``until``, the clock is advanced to
+        ``until`` even if no event fired there.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            next_event = self._heap[0]
+            if next_event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and next_event.time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def drain(self, max_events: int = 10_000_000) -> None:
+        """Run until the queue is empty, with a runaway guard."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"event budget of {max_events} exhausted")

@@ -1,0 +1,99 @@
+"""Event tracing for the simulation engine.
+
+A :class:`Tracer` hooks an :class:`~repro.sim.events.EventLoop` and
+records every executed event (time, name) plus any explicit annotations
+components emit. Useful when debugging a pipeline interaction ("what
+fired between t=1.20 and t=1.25?") without littering the code with
+prints. Disabled unless installed, so the hot path stays clean.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.sim.events import EventLoop
+
+
+@dataclass
+class TraceRecord:
+    time: float
+    name: str
+    detail: str = ""
+
+
+class Tracer:
+    """Records executed loop events and explicit annotations."""
+
+    def __init__(self, loop: EventLoop,
+                 name_filter: Optional[Callable[[str], bool]] = None,
+                 max_records: int = 1_000_000) -> None:
+        self.loop = loop
+        self.name_filter = name_filter
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self._installed = False
+        self._orig_step: Optional[Callable[[], bool]] = None
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def install(self) -> "Tracer":
+        """Hook the loop's step() to record each executed event."""
+        if self._installed:
+            return self
+        self._orig_step = self.loop.step
+        tracer = self
+
+        def traced_step() -> bool:
+            heap = tracer.loop._heap
+            # Peek the next non-cancelled event's name before executing.
+            pending_name = ""
+            for event in heap:
+                if not event.cancelled:
+                    pending_name = event.name
+                    break
+            progressed = tracer._orig_step()
+            if progressed:
+                tracer._record(tracer.loop.now, pending_name)
+            return progressed
+
+        self.loop.step = traced_step  # type: ignore[method-assign]
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed and self._orig_step is not None:
+            self.loop.step = self._orig_step  # type: ignore[method-assign]
+            self._installed = False
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _record(self, time: float, name: str, detail: str = "") -> None:
+        if self.name_filter is not None and not self.name_filter(name):
+            return
+        if len(self.records) >= self.max_records:
+            return
+        self.records.append(TraceRecord(time, name, detail))
+
+    def annotate(self, detail: str, name: str = "annotation") -> None:
+        """Record an explicit marker at the current simulation time."""
+        self._record(self.loop.now, name, detail)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def between(self, start: float, end: float) -> list[TraceRecord]:
+        return [r for r in self.records if start <= r.time <= end]
+
+    def counts(self) -> Counter:
+        return Counter(r.name for r in self.records)
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [f"{r.time:10.6f}  {r.name}  {r.detail}".rstrip()
+                 for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more)")
+        return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Congestion control algorithms (GCC, BBR) used under the pacers."""
+
+from repro.transport.cc.base import CongestionController
+from repro.transport.cc.gcc import GccController
+from repro.transport.cc.bbr import BbrController
+from repro.transport.cc.copa import CopaController
+from repro.transport.cc.delivery_rate import DeliveryRateController
+
+__all__ = [
+    "CongestionController",
+    "GccController",
+    "BbrController",
+    "CopaController",
+    "DeliveryRateController",
+]

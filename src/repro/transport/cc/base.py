@@ -1,0 +1,61 @@
+"""Congestion controller interface.
+
+The controllers run at the sender, consume transport feedback, and
+expose a bandwidth estimate (BWE). As the paper stresses, ACE is
+orthogonal to the CCA: the CCA decides *how much* may be sent per RTT;
+the pacer/ACE-N decide *when* within the RTT. The pipeline therefore
+wires the BWE to both the encoder target bitrate and the pacer's token
+rate, exactly as WebRTC does.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.transport.feedback import FeedbackMessage
+
+
+@dataclass
+class CcSample:
+    """One (time, estimate) point — kept for the Fig. 9/20/21 benches."""
+
+    time: float
+    bwe_bps: float
+
+
+class CongestionController(abc.ABC):
+    """Base congestion controller with BWE history tracking."""
+
+    def __init__(self, initial_bwe_bps: float = 2_000_000.0,
+                 min_bwe_bps: float = 150_000.0,
+                 max_bwe_bps: float = 500_000_000.0) -> None:
+        self._bwe_bps = initial_bwe_bps
+        self.min_bwe_bps = min_bwe_bps
+        self.max_bwe_bps = max_bwe_bps
+        self.history: list[CcSample] = []
+        self.rtt_min: float | None = None
+        self.rtt_last: float | None = None
+
+    @property
+    def bwe_bps(self) -> float:
+        """Current bandwidth estimate in bits/second."""
+        return self._bwe_bps
+
+    def _set_bwe(self, value: float, now: float) -> None:
+        self._bwe_bps = min(max(value, self.min_bwe_bps), self.max_bwe_bps)
+        self.history.append(CcSample(now, self._bwe_bps))
+
+    def observe_rtt(self, rtt: float) -> None:
+        """Track RTT (the pipeline reports it from feedback round trips)."""
+        self.rtt_last = rtt
+        if self.rtt_min is None or rtt < self.rtt_min:
+            self.rtt_min = rtt
+
+    @abc.abstractmethod
+    def on_feedback(self, message: FeedbackMessage, now: float) -> None:
+        """Consume one transport feedback message."""
+
+    def target_bitrate_bps(self) -> float:
+        """Encoder target derived from the BWE (WebRTC uses ~the BWE)."""
+        return self._bwe_bps

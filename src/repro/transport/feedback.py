@@ -1,0 +1,128 @@
+"""Transport-wide feedback (RTCP-style) from receiver to sender.
+
+Mirrors WebRTC's transport-wide congestion-control feedback: the
+receiver batches per-packet (seq, send_time, arrival_time) reports on a
+fixed interval and returns them with a loss summary and NACK list. The
+sender's congestion controller, ACE-N's queue estimator, and the
+retransmission logic all consume these messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.packet import Packet
+
+#: WebRTC sends transport feedback roughly every 50-100 ms; we use 50 ms.
+DEFAULT_FEEDBACK_INTERVAL_S = 0.05
+
+
+@dataclass(frozen=True)
+class PacketReport:
+    """One received packet as seen by the receiver."""
+
+    seq: int
+    send_time: float
+    arrival_time: float
+    size_bytes: int
+    frame_id: int = -1
+
+    @property
+    def one_way_delay(self) -> float:
+        return self.arrival_time - self.send_time
+
+
+@dataclass
+class FeedbackMessage:
+    """A batch of receive reports plus loss information."""
+
+    created_at: float
+    reports: List[PacketReport] = field(default_factory=list)
+    nacked_seqs: List[int] = field(default_factory=list)
+    #: highest sequence number seen so far (for loss accounting)
+    highest_seq: int = -1
+    #: receiver's cumulative count of distinct lost (never-received) seqs
+    cumulative_lost: int = 0
+    #: picture-loss indication: the receiver abandoned a frame and needs
+    #: a decoder refresh (keyframe) to resume a valid reference chain.
+    pli_requested: bool = False
+
+    @property
+    def received_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.reports)
+
+
+class FeedbackBuilder:
+    """Receiver-side accumulator producing periodic FeedbackMessages.
+
+    Loss detection: a gap in sequence numbers is declared lost after a
+    short reordering margin; lost seqs are NACKed (repeatedly, until the
+    retransmission arrives or the frame is abandoned).
+    """
+
+    def __init__(self, reorder_margin: int = 3,
+                 max_nacks_per_seq: int = 10) -> None:
+        self.reorder_margin = reorder_margin
+        self.max_nacks_per_seq = max_nacks_per_seq
+        self._pending: List[PacketReport] = []
+        self._highest_seq = -1
+        self._received_seqs: set[int] = set()
+        self._nack_counts: dict[int, int] = {}
+        self._recovered: set[int] = set()
+        self._cumulative_lost = 0
+
+    def on_packet(self, packet: Packet) -> None:
+        """Record an arriving media packet."""
+        report = PacketReport(
+            seq=packet.seq,
+            send_time=packet.t_leave_pacer if packet.t_leave_pacer is not None else 0.0,
+            arrival_time=packet.t_arrival if packet.t_arrival is not None else 0.0,
+            size_bytes=packet.size_bytes,
+            frame_id=packet.frame_id,
+        )
+        self._pending.append(report)
+        if packet.retransmission_of is not None:
+            self._recovered.add(packet.retransmission_of)
+            self._nack_counts.pop(packet.retransmission_of, None)
+            return
+        if packet.seq < 0:
+            return  # separate stream (e.g. FEC parity): no gap tracking
+        self._received_seqs.add(packet.seq)
+        self._highest_seq = max(self._highest_seq, packet.seq)
+
+    def _missing_seqs(self) -> List[int]:
+        """Sequence numbers presumed lost (beyond the reordering margin)."""
+        if self._highest_seq < 0:
+            return []
+        horizon = self._highest_seq - self.reorder_margin
+        missing = []
+        # Only scan a bounded window back from the horizon; older holes
+        # have either been NACKed to exhaustion or recovered.
+        window_start = max(0, horizon - 2000)
+        for seq in range(window_start, horizon + 1):
+            if seq in self._received_seqs or seq in self._recovered:
+                continue
+            count = self._nack_counts.get(seq, 0)
+            if count >= self.max_nacks_per_seq:
+                continue
+            missing.append(seq)
+        return missing
+
+    def build(self, now: float) -> FeedbackMessage:
+        """Emit the feedback message for the elapsed interval."""
+        nacks = self._missing_seqs()
+        for seq in nacks:
+            before = self._nack_counts.get(seq, 0)
+            if before == 0:
+                self._cumulative_lost += 1
+            self._nack_counts[seq] = before + 1
+        message = FeedbackMessage(
+            created_at=now,
+            reports=list(self._pending),
+            nacked_seqs=nacks,
+            highest_seq=self._highest_seq,
+            cumulative_lost=self._cumulative_lost,
+        )
+        self._pending.clear()
+        return message

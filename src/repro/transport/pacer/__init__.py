@@ -1,0 +1,8 @@
+"""Pacer implementations: leaky bucket (WebRTC), burst, token bucket."""
+
+from repro.transport.pacer.base import Pacer, PacerStats
+from repro.transport.pacer.leaky_bucket import LeakyBucketPacer
+from repro.transport.pacer.burst import BurstPacer
+from repro.transport.pacer.token_bucket_pacer import TokenBucketPacer
+
+__all__ = ["Pacer", "PacerStats", "LeakyBucketPacer", "BurstPacer", "TokenBucketPacer"]

@@ -1,0 +1,182 @@
+"""Pacer interface and shared queue mechanics.
+
+A pacer holds packetized frames between the encoder and the network and
+decides *when* each packet leaves the sender — the sub-RTT sending
+pattern the paper's whole argument is about. Concrete policies differ
+only in how they compute the next send opportunity, so the queueing,
+priority (retransmissions first) and bookkeeping live here.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro.net.packet import Packet
+from repro.sim.events import Event, EventLoop
+
+
+@dataclass
+class PacerStats:
+    """Counters the metrics layer reads off the pacer."""
+
+    enqueued_packets: int = 0
+    sent_packets: int = 0
+    enqueued_bytes: int = 0
+    sent_bytes: int = 0
+    #: (time, queued_bytes) samples on every enqueue/send.
+    occupancy_samples: list[tuple[float, int]] = field(default_factory=list)
+    #: per-packet pacing delays (seconds).
+    pacing_delays: list[float] = field(default_factory=list)
+
+
+class Pacer(abc.ABC):
+    """Base class: FIFO media queue + priority retransmission queue.
+
+    Subclasses implement :meth:`_next_send_delay`, returning how long to
+    wait before the head packet may be released (0 = immediately).
+    """
+
+    def __init__(self, loop: EventLoop,
+                 send_fn: Callable[[Packet], None]) -> None:
+        self.loop = loop
+        self.send_fn = send_fn
+        self.stats = PacerStats()
+        self._audio_queue: Deque[Packet] = deque()
+        self._media_queue: Deque[Packet] = deque()
+        self._rtx_queue: Deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._pump_event: Optional[Event] = None
+        self._pacing_rate_bps = 1_000_000.0
+
+    # ------------------------------------------------------------------
+    # rate plumbing
+    # ------------------------------------------------------------------
+    @property
+    def pacing_rate_bps(self) -> float:
+        return self._pacing_rate_bps
+
+    def set_pacing_rate(self, rate_bps: float) -> None:
+        """Update the pacing rate (called when the CCA's estimate moves)."""
+        self._pacing_rate_bps = max(rate_bps, 10_000.0)
+
+    # ------------------------------------------------------------------
+    # queue state
+    # ------------------------------------------------------------------
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def queued_packets(self) -> int:
+        return (len(self._media_queue) + len(self._rtx_queue)
+                + len(self._audio_queue))
+
+    @property
+    def is_empty(self) -> bool:
+        return self.queued_packets == 0
+
+    # ------------------------------------------------------------------
+    # enqueue / release
+    # ------------------------------------------------------------------
+    def enqueue(self, packets: list[Packet]) -> None:
+        """Add a frame's packet train to the pacing queue."""
+        now = self.loop.now
+        for packet in packets:
+            packet.t_enqueue_pacer = now
+            self._media_queue.append(packet)
+            self._queued_bytes += packet.size_bytes
+            self.stats.enqueued_packets += 1
+            self.stats.enqueued_bytes += packet.size_bytes
+        self.stats.occupancy_samples.append((now, self._queued_bytes))
+        self.on_enqueue(packets)
+        self._schedule_pump(0.0)
+
+    def enqueue_retransmission(self, packet: Packet) -> None:
+        """Queue a retransmission ahead of fresh media (WebRTC priority)."""
+        packet.t_enqueue_pacer = self.loop.now
+        self._rtx_queue.append(packet)
+        self._queued_bytes += packet.size_bytes
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size_bytes
+        self._schedule_pump(0.0)
+
+    def enqueue_audio(self, packet: Packet) -> None:
+        """Queue an audio packet at strict top priority (WebRTC order:
+        audio > retransmissions > video)."""
+        packet.t_enqueue_pacer = self.loop.now
+        self._audio_queue.append(packet)
+        self._queued_bytes += packet.size_bytes
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size_bytes
+        self._schedule_pump(0.0)
+
+    def on_enqueue(self, packets: list[Packet]) -> None:
+        """Hook for subclasses (e.g. ACE-N's frame-boundary update)."""
+
+    def _pop_next(self) -> Optional[Packet]:
+        if self._audio_queue:
+            return self._audio_queue.popleft()
+        if self._rtx_queue:
+            return self._rtx_queue.popleft()
+        if self._media_queue:
+            return self._media_queue.popleft()
+        return None
+
+    def _peek_next(self) -> Optional[Packet]:
+        if self._audio_queue:
+            return self._audio_queue[0]
+        if self._rtx_queue:
+            return self._rtx_queue[0]
+        if self._media_queue:
+            return self._media_queue[0]
+        return None
+
+    #: floor on positive pump delays — waits shorter than a microsecond
+    #: cannot reliably advance the float clock and would spin the loop.
+    MIN_PUMP_DELAY_S = 1e-6
+
+    def _schedule_pump(self, delay: float) -> None:
+        if delay > 0:
+            delay = max(delay, self.MIN_PUMP_DELAY_S)
+        if self._pump_event is not None and not self._pump_event.cancelled:
+            # A pump is already pending; let it run (it reschedules itself).
+            if delay > 0:
+                return
+            self._pump_event.cancel()
+        self._pump_event = self.loop.call_later(delay, self._pump, name="pacer.pump")
+
+    def _pump(self) -> None:
+        self._pump_event = None
+        while True:
+            head = self._peek_next()
+            if head is None:
+                return
+            delay = self._next_send_delay(head)
+            if delay > 0:
+                self._schedule_pump(delay)
+                return
+            packet = self._pop_next()
+            assert packet is head
+            self._release(packet)
+
+    def _release(self, packet: Packet) -> None:
+        now = self.loop.now
+        packet.t_leave_pacer = now
+        self._queued_bytes -= packet.size_bytes
+        self.stats.sent_packets += 1
+        self.stats.sent_bytes += packet.size_bytes
+        if packet.t_enqueue_pacer is not None:
+            self.stats.pacing_delays.append(now - packet.t_enqueue_pacer)
+        self.stats.occupancy_samples.append((now, self._queued_bytes))
+        self.on_send(packet)
+        self.send_fn(packet)
+
+    def on_send(self, packet: Packet) -> None:
+        """Hook for subclasses (e.g. token accounting)."""
+
+    @abc.abstractmethod
+    def _next_send_delay(self, packet: Packet) -> float:
+        """Seconds until ``packet`` may be released (0 = now)."""

@@ -1,0 +1,53 @@
+"""WebRTC-style leaky-bucket pacer.
+
+Flattens each frame into a uniform packet stream at ``pacing_factor x``
+the estimated bandwidth. With factor 1.0 this is the conservative
+pacing the paper calls "Pace"; with factor 2.5 it is the WebRTC-B
+strawman (the deprecated high-pacing-rate WebRTC setting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.packet import Packet
+from repro.sim.events import EventLoop
+from repro.transport.pacer.base import Pacer
+
+
+class LeakyBucketPacer(Pacer):
+    """Constant-rate drain: one packet every ``size * 8 / rate`` seconds.
+
+    Optionally supports a WebRTC-style queue-time valve
+    (``max_queue_time_s``): if draining the current queue at the
+    configured rate would take longer than the bound, the drain rate is
+    raised. Disabled by default — on a congested bottleneck a forced
+    drain converts pacer queueing into packet loss, which costs more
+    than the wait (the media pushback in the sender handles sustained
+    backlog instead).
+    """
+
+    def __init__(self, loop: EventLoop, send_fn: Callable[[Packet], None],
+                 pacing_factor: float = 1.0,
+                 max_queue_time_s: float | None = None) -> None:
+        super().__init__(loop, send_fn)
+        if pacing_factor <= 0:
+            raise ValueError("pacing factor must be positive")
+        self.pacing_factor = pacing_factor
+        self.max_queue_time_s = max_queue_time_s
+        self._next_send_time = 0.0
+
+    @property
+    def effective_rate_bps(self) -> float:
+        base = self.pacing_rate_bps * self.pacing_factor
+        if self.max_queue_time_s is not None:
+            base = max(base, self.queued_bytes * 8 / self.max_queue_time_s)
+        return base
+
+    def _next_send_delay(self, packet: Packet) -> float:
+        return max(0.0, self._next_send_time - self.loop.now)
+
+    def on_send(self, packet: Packet) -> None:
+        serialization = packet.size_bytes * 8 / self.effective_rate_bps
+        base = max(self._next_send_time, self.loop.now)
+        self._next_send_time = base + serialization

@@ -1,0 +1,85 @@
+"""Adaptive playout buffer (NetEQ-style display scheduling).
+
+The paper's evaluation displays frames as soon as they decode, which is
+the right measurement mode for end-to-end latency. Real receivers
+instead schedule playout at ``capture + target_delay`` where the target
+adapts to observed delay jitter: a small constant delay is traded for a
+smooth cadence (fewer stall events), because frames arriving early wait
+while late frames have headroom.
+
+The controller keeps the target near a high percentile of recent
+network delays (plus a safety margin), growing fast on underruns and
+shrinking slowly when the buffer is consistently slack.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+
+@dataclass
+class PlayoutConfig:
+    """Tunables of the playout controller."""
+
+    #: initial capture-to-display target (seconds).
+    initial_target: float = 0.10
+    min_target: float = 0.04
+    max_target: float = 1.00
+    #: window of recent capture->decode delays the target tracks.
+    window: int = 120
+    #: percentile of recent delays the target sits at.
+    percentile: float = 95.0
+    #: safety margin above the percentile (seconds).
+    margin: float = 0.01
+    #: growth on underrun (a frame that would miss its slot), multiplicative.
+    underrun_boost: float = 1.25
+    #: slow decay toward the tracked percentile per scheduled frame.
+    decay: float = 0.02
+
+
+class PlayoutBuffer:
+    """Schedules display times at an adaptive capture-relative target."""
+
+    def __init__(self, config: PlayoutConfig | None = None) -> None:
+        self.config = config or PlayoutConfig()
+        self._target = self.config.initial_target
+        self._delays: Deque[float] = deque(maxlen=self.config.window)
+        self.underruns = 0
+        self.scheduled = 0
+
+    @property
+    def target_delay(self) -> float:
+        return self._target
+
+    def schedule(self, capture_time: float, earliest_display: float) -> float:
+        """Return the display time for a frame decodable at
+        ``earliest_display`` that was captured at ``capture_time``."""
+        cfg = self.config
+        delay = earliest_display - capture_time
+        self._delays.append(delay)
+        self.scheduled += 1
+
+        slot = capture_time + self._target
+        if slot < earliest_display:
+            # Underrun: the frame cannot make its slot; display late and
+            # grow the target so the cadence recovers headroom.
+            self.underruns += 1
+            self._target = min(cfg.max_target,
+                               max(self._target * cfg.underrun_boost,
+                                   delay + cfg.margin))
+            return earliest_display
+        # On time: decay the target toward the tracked delay percentile.
+        tracked = self._tracked_percentile() + cfg.margin
+        self._target += cfg.decay * (tracked - self._target)
+        self._target = min(max(self._target, cfg.min_target), cfg.max_target)
+        return slot
+
+    def _tracked_percentile(self) -> float:
+        if not self._delays:
+            return self._target
+        ordered = sorted(self._delays)
+        idx = min(len(ordered) - 1,
+                  int(len(ordered) * self.config.percentile / 100.0))
+        return ordered[idx]

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStream, SeedSequenceFactory
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture
+def rngs() -> SeedSequenceFactory:
+    return SeedSequenceFactory(seed=12345)
+
+
+@pytest.fixture
+def rng(rngs) -> RngStream:
+    return rngs.stream("test")

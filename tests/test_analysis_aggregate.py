@@ -1,0 +1,102 @@
+"""Tests for multi-seed aggregation and paired comparisons."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    MetricSummary,
+    RunResult,
+    aggregate,
+    paired_compare,
+    render_aggregate,
+)
+
+
+def result(baseline, seed, p95, vmaf=80.0, trace="wifi"):
+    return RunResult(baseline=baseline, trace=trace, seed=seed, duration=10.0,
+                     p95_latency=p95, mean_vmaf=vmaf, p50_latency=p95 / 2,
+                     mean_latency=p95 / 2, loss_rate=0.01, stall_rate=0.02,
+                     received_fps=30.0)
+
+
+class TestMetricSummary:
+    def test_of_values(self):
+        s = MetricSummary.of([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.low == 1.0 and s.high == 3.0
+        assert s.n == 3
+
+    def test_of_empty_and_nan(self):
+        s = MetricSummary.of([float("nan")])
+        assert s.n == 0
+        assert math.isnan(s.mean)
+
+
+class TestAggregate:
+    def test_groups_by_baseline(self):
+        results = [result("ace", 1, 0.10), result("ace", 2, 0.12),
+                   result("cbr", 1, 0.06)]
+        agg = aggregate(results)
+        assert set(agg) == {"ace", "cbr"}
+        assert agg["ace"]["p95_latency"].n == 2
+        assert agg["ace"]["p95_latency"].mean == pytest.approx(0.11)
+
+    def test_custom_key(self):
+        results = [result("ace", 1, 0.1, trace="wifi"),
+                   result("ace", 1, 0.2, trace="4g")]
+        agg = aggregate(results, key=lambda r: r.trace)
+        assert set(agg) == {"wifi", "4g"}
+
+    def test_render_contains_baselines(self):
+        text = render_aggregate(aggregate([result("ace", 1, 0.1),
+                                           result("cbr", 1, 0.05)]))
+        assert "ace" in text and "cbr" in text
+        assert "ms" in text
+
+
+class TestPairedCompare:
+    def test_pairs_matched_workloads(self):
+        results = []
+        for seed in (1, 2, 3):
+            results.append(result("ace", seed, 0.10))
+            results.append(result("star", seed, 0.20))
+        cmp = paired_compare(results, "ace", "star", metric="p95_latency")
+        assert cmp.n == 3
+        assert cmp.mean_diff == pytest.approx(-0.10)
+        assert cmp.wins == 3
+        assert cmp.consistent
+
+    def test_unmatched_workloads_skipped(self):
+        results = [result("ace", 1, 0.1), result("star", 2, 0.2)]
+        cmp = paired_compare(results, "ace", "star")
+        assert cmp.n == 0
+        assert not cmp.consistent
+
+    def test_mixed_outcomes_not_consistent(self):
+        results = [result("ace", 1, 0.10), result("star", 1, 0.20),
+                   result("ace", 2, 0.30), result("star", 2, 0.20)]
+        cmp = paired_compare(results, "ace", "star")
+        assert cmp.n == 2
+        assert cmp.wins == 1
+        assert not cmp.consistent
+
+
+def test_end_to_end_with_real_runs():
+    """Aggregate actual session runs across two seeds."""
+    from repro.net.trace import BandwidthTrace
+    from repro.rtc.baselines import build_session
+    from repro.rtc.session import SessionConfig
+
+    results = []
+    trace = BandwidthTrace.constant(15e6, duration=15.0)
+    for seed in (1, 2):
+        for name in ("cbr", "always-burst"):
+            cfg = SessionConfig(duration=3.0, seed=seed, initial_bwe_bps=8e6)
+            metrics = build_session(name, trace, cfg).run()
+            results.append(RunResult.from_metrics(
+                metrics, baseline=name, trace="const", seed=seed))
+    agg = aggregate(results)
+    assert agg["cbr"]["p95_latency"].n == 2
+    cmp = paired_compare(results, "cbr", "always-burst")
+    assert cmp.n == 2

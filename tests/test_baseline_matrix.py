@@ -1,0 +1,64 @@
+"""Matrix smoke tests: every registered baseline runs and is deterministic."""
+
+import pytest
+
+from repro.net.trace import BandwidthTrace
+from repro.rtc.baselines import BASELINES, build_session
+from repro.rtc.session import SessionConfig
+from repro.video.source import MixedSource
+
+ALL_BASELINES = sorted(BASELINES)
+
+
+def quick_run(name, seed=7, duration=3.0, **kwargs):
+    trace = BandwidthTrace.constant(18e6, duration=duration + 10)
+    cfg = SessionConfig(duration=duration, seed=seed, initial_bwe_bps=8e6)
+    session = build_session(name, trace, cfg, **kwargs)
+    return session.run()
+
+
+@pytest.mark.parametrize("name", ALL_BASELINES)
+def test_baseline_runs_and_delivers(name):
+    metrics = quick_run(name)
+    assert len(metrics.frames) >= 85          # ~90 frames in 3 s
+    assert len(metrics.displayed_frames()) > 0.7 * len(metrics.frames)
+    lat = metrics.e2e_latencies()
+    assert all(0 < v < 10.0 for v in lat)
+    assert 0 <= metrics.loss_rate() <= 1
+
+
+@pytest.mark.parametrize("name", ["ace", "webrtc-star", "salsify",
+                                  "always-burst", "ace-fec"])
+def test_baseline_deterministic(name):
+    a = quick_run(name, seed=3)
+    b = quick_run(name, seed=3)
+    assert a.p95_latency() == b.p95_latency()
+    assert a.mean_vmaf() == b.mean_vmaf()
+    assert a.packets_sent == b.packets_sent
+    assert a.packets_lost == b.packets_lost
+
+
+def test_mixed_source_session():
+    trace = BandwidthTrace.constant(18e6, duration=15.0)
+    cfg = SessionConfig(duration=5.0, seed=7, initial_bwe_bps=8e6)
+
+    def source_factory(rngs):
+        return MixedSource(rngs.stream("source"), fps=cfg.fps,
+                           segment_frames=30)
+
+    session = build_session("ace", trace, cfg, source_factory=source_factory)
+    metrics = session.run()
+    categories = {f.frame_id for f in metrics.frames}
+    assert len(metrics.displayed_frames()) > 120
+
+
+@pytest.mark.parametrize("codec", ["x264", "x265", "vp8", "vp9", "av1"])
+def test_codec_override_matrix(codec):
+    metrics = quick_run("ace", codec_override=codec)
+    assert len(metrics.displayed_frames()) > 60
+
+
+@pytest.mark.parametrize("cc", ["gcc", "bbr", "copa", "delivery"])
+def test_cc_override_matrix(cc):
+    metrics = quick_run("webrtc-star", cc_override=cc)
+    assert len(metrics.displayed_frames()) > 60

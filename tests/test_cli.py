@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_trace, metrics_row
+from repro.net.trace import BandwidthTrace
+
+
+class TestMakeTrace:
+    def test_named_classes(self):
+        for kind in ("wifi", "4g", "5g", "campus"):
+            trace = make_trace(kind, seed=1, duration=10.0)
+            assert trace.mean_rate() > 0
+
+    def test_constant(self):
+        trace = make_trace("const:12.5", seed=1, duration=10.0)
+        assert trace.rate_at(0.0) == 12.5e6
+
+    def test_weak_venue(self):
+        trace = make_trace("weak:canteen", seed=1, duration=10.0)
+        assert trace.mean_rate() < 40e6
+
+    def test_unknown_kind_exits(self):
+        with pytest.raises(SystemExit):
+            make_trace("dialup", seed=1, duration=10.0)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "--baseline", "ace", "--trace", "4g", "--rtt", "20"])
+        assert args.baseline == "ace"
+        assert args.rtt == 20.0
+        assert args.category == "gaming"
+
+    def test_category_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--baseline", "ace", "--category", "cooking"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ace" in out and "webrtc-star" in out and "gaming" in out
+
+    def test_run_prints_metrics(self, capsys):
+        rc = main(["run", "--baseline", "cbr", "--trace", "const:15",
+                   "--duration", "3", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p95 ms" in out
+        assert "latency breakdown" in out
+
+    def test_compare_prints_all_rows(self, capsys):
+        rc = main(["compare", "--baselines", "cbr,always-burst",
+                   "--trace", "const:15", "--duration", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cbr" in out and "always-burst" in out
+
+    def test_sweep_rtt(self, capsys):
+        rc = main(["sweep-rtt", "--baseline", "cbr", "--rtts", "20,40",
+                   "--trace", "const:15", "--duration", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RTT ms" in out and "20" in out and "40" in out
+
+    def test_codec_override(self, capsys):
+        rc = main(["run", "--baseline", "ace", "--trace", "const:15",
+                   "--duration", "3", "--codec", "av1"])
+        assert rc == 0
+
+    def test_cc_override(self, capsys):
+        rc = main(["run", "--baseline", "webrtc-star", "--trace", "const:15",
+                   "--duration", "3", "--cc", "bbr"])
+        assert rc == 0

@@ -1,0 +1,107 @@
+"""Tests for the RTT x PacketPair queue estimator."""
+
+import pytest
+
+from repro.core.queue_estimator import QueueEstimator
+from repro.transport.feedback import FeedbackMessage, PacketReport
+
+
+def message(reports, now):
+    return FeedbackMessage(created_at=now, reports=reports,
+                           highest_seq=max(r.seq for r in reports))
+
+
+def reports_with_owd(start_seq, t0, owds, size=1200, spacing=0.005):
+    return [PacketReport(seq=start_seq + i, send_time=t0 + i * spacing,
+                         arrival_time=t0 + i * spacing + owd, size_bytes=size)
+            for i, owd in enumerate(owds)]
+
+
+def pair_reports(start_seq, t0, capacity_bps, owd=0.02, size=1200):
+    """A back-to-back pair whose spacing encodes the capacity."""
+    gap = size * 8 / capacity_bps
+    return [
+        PacketReport(seq=start_seq, send_time=t0, arrival_time=t0 + owd,
+                     size_bytes=size),
+        PacketReport(seq=start_seq + 1, send_time=t0 + 1e-5,
+                     arrival_time=t0 + owd + gap, size_bytes=size),
+    ]
+
+
+def feed_steady(est, rounds=10, owd=0.02, capacity_bps=10e6, reverse=0.01):
+    t, seq = 0.0, 0
+    for _ in range(rounds):
+        reports = pair_reports(seq, t, capacity_bps, owd=owd)
+        est.on_feedback(message(reports, t + 0.05), now=t + 0.05,
+                        reverse_delay=reverse)
+        seq += 2
+        t += 0.05
+    return t, seq
+
+
+def test_rtt_min_tracks_floor():
+    est = QueueEstimator()
+    feed_steady(est, owd=0.02, reverse=0.01)
+    assert est.rtt_min == pytest.approx(0.03, abs=1e-6)
+
+
+def test_zero_queue_at_floor():
+    est = QueueEstimator()
+    feed_steady(est)
+    assert est.queue_delay() == pytest.approx(0.0, abs=1e-4)
+    assert est.queue_bytes(now=1.0) < 2000
+    assert est.queue_is_empty()
+
+
+def test_queue_estimate_from_standing_rtt():
+    est = QueueEstimator(standing_window_s=0.2)
+    t, seq = feed_steady(est, rounds=10, owd=0.02, capacity_bps=10e6)
+    # queue builds: all recent packets see +8 ms
+    reports = reports_with_owd(seq, t, [0.028] * 8)
+    now = t + 0.05
+    est.on_feedback(message(reports, now), now=now, reverse_delay=0.01)
+    # advance the window so only the elevated samples remain standing
+    est.on_feedback(message(reports_with_owd(seq + 10, now + 0.2, [0.028] * 4),
+                            now + 0.25), now=now + 0.25, reverse_delay=0.01)
+    delay = est.queue_delay()
+    assert delay == pytest.approx(0.008, abs=0.002)
+    queue = est.queue_bytes(now=now + 0.25)
+    assert queue == pytest.approx(0.008 * 10e6 / 8, rel=0.3)
+
+
+def test_standing_filter_ignores_transient_spike():
+    """One spiky packet inside the window must not raise the estimate
+    if any packet saw the floor."""
+    est = QueueEstimator(standing_window_s=0.2)
+    t, seq = feed_steady(est)
+    reports = reports_with_owd(seq, t, [0.02, 0.08, 0.02])
+    est.on_feedback(message(reports, t + 0.05), now=t + 0.05, reverse_delay=0.01)
+    assert est.queue_delay() == pytest.approx(0.0, abs=1e-4)
+
+
+def test_peak_queue_sees_the_spike():
+    est = QueueEstimator(standing_window_s=0.2)
+    t, seq = feed_steady(est)
+    reports = reports_with_owd(seq, t, [0.02, 0.08, 0.02])
+    est.on_feedback(message(reports, t + 0.05), now=t + 0.05, reverse_delay=0.01)
+    peak = est.peak_queue_bytes()
+    assert peak == pytest.approx(0.06 * est.capacity_bps() / 8, rel=0.3)
+
+
+def test_capacity_fallback_before_samples():
+    est = QueueEstimator(default_capacity_bps=7e6)
+    assert est.capacity_bps() == 7e6
+
+
+def test_capacity_from_packet_pairs():
+    est = QueueEstimator()
+    feed_steady(est, rounds=10, capacity_bps=20e6)
+    assert est.capacity_bps() == pytest.approx(20e6, rel=0.05)
+
+
+def test_estimates_history_recorded():
+    est = QueueEstimator()
+    feed_steady(est, rounds=3)
+    est.queue_bytes(now=1.0)
+    assert len(est.estimates) >= 1
+    assert est.estimates[-1].rtt_min is not None

@@ -1,0 +1,52 @@
+"""Tests for the packet model."""
+
+from repro.net.packet import DEFAULT_PAYLOAD_BYTES, Packet, PacketType
+
+
+def test_unique_ids():
+    a, b = Packet(size_bytes=100), Packet(size_bytes=100)
+    assert a.packet_id != b.packet_id
+
+
+def test_timing_properties_none_until_stamped():
+    p = Packet(size_bytes=1200)
+    assert p.pacing_delay is None
+    assert p.queue_delay is None
+    assert p.one_way_delay is None
+
+
+def test_timing_properties_computed():
+    p = Packet(size_bytes=1200)
+    p.t_enqueue_pacer = 1.0
+    p.t_leave_pacer = 1.05
+    p.t_enter_queue = 1.06
+    p.t_leave_queue = 1.09
+    p.t_arrival = 1.10
+    assert abs(p.pacing_delay - 0.05) < 1e-9
+    assert abs(p.queue_delay - 0.03) < 1e-9
+    assert abs(p.one_way_delay - 0.05) < 1e-9
+
+
+def test_clone_for_retransmission_carries_identity():
+    original = Packet(size_bytes=900, seq=42, frame_id=7,
+                      frame_packet_index=3, frame_packet_count=10)
+    rtx = original.clone_for_retransmission()
+    assert rtx.ptype == PacketType.RETRANSMIT
+    assert rtx.retransmission_of == 42
+    assert rtx.seq == -1  # fresh seq assigned later
+    assert rtx.frame_id == 7
+    assert rtx.frame_packet_index == 3
+    assert rtx.size_bytes == 900
+    assert rtx.packet_id != original.packet_id
+
+
+def test_retransmission_of_retransmission_points_at_original():
+    original = Packet(size_bytes=900, seq=42)
+    rtx1 = original.clone_for_retransmission()
+    rtx1.seq = 100
+    rtx2 = rtx1.clone_for_retransmission()
+    assert rtx2.retransmission_of == 42
+
+
+def test_default_payload_fits_mtu():
+    assert DEFAULT_PAYLOAD_BYTES <= 1500

@@ -1,0 +1,106 @@
+"""Tests for bandwidth traces and generators."""
+
+import pytest
+
+from repro.net.trace import (
+    TRACE_INTERVAL_S,
+    BandwidthTrace,
+    TraceLibrary,
+    make_4g_trace,
+    make_5g_trace,
+    make_campus_wifi_trace,
+    make_step_trace,
+    make_weak_network_trace,
+    make_wifi_trace,
+)
+from repro.sim.rng import RngStream
+
+
+def test_constant_trace_rate():
+    trace = BandwidthTrace.constant(10e6, duration=10.0)
+    assert trace.rate_at(0.0) == 10e6
+    assert trace.rate_at(5.0) == 10e6
+    assert trace.mean_rate() == 10e6
+
+
+def test_piecewise_lookup():
+    trace = BandwidthTrace(timestamps=[0.0, 1.0, 2.0], rates_bps=[1e6, 2e6, 3e6])
+    assert trace.rate_at(0.5) == 1e6
+    assert trace.rate_at(1.0) == 2e6
+    assert trace.rate_at(1.9) == 2e6
+    assert trace.rate_at(2.5) == 3e6
+
+
+def test_trace_loops_past_end():
+    trace = BandwidthTrace(timestamps=[0.0, 1.0], rates_bps=[1e6, 2e6])
+    # duration = 2.0 (1.0 span + 1.0 median step); t=2.1 wraps to 0.1.
+    assert trace.rate_at(trace.duration + 0.1) == trace.rate_at(0.1)
+
+
+def test_validation_rejects_bad_traces():
+    with pytest.raises(ValueError):
+        BandwidthTrace(timestamps=[0.0, 1.0], rates_bps=[1e6])
+    with pytest.raises(ValueError):
+        BandwidthTrace(timestamps=[], rates_bps=[])
+    with pytest.raises(ValueError):
+        BandwidthTrace(timestamps=[1.0, 0.5], rates_bps=[1e6, 1e6])
+    with pytest.raises(ValueError):
+        BandwidthTrace(timestamps=[0.0, 1.0], rates_bps=[1e6, -5.0])
+
+
+def test_scaled_trace():
+    trace = BandwidthTrace.constant(10e6)
+    doubled = trace.scaled(2.0)
+    assert doubled.rate_at(0.0) == 20e6
+    assert trace.rate_at(0.0) == 10e6  # original untouched
+
+
+def test_generators_produce_positive_rates():
+    rng = RngStream(1, "t")
+    for maker in (make_wifi_trace, make_4g_trace, make_5g_trace):
+        trace = maker(RngStream(1, maker.__name__), duration=30.0)
+        assert trace.min_rate() > 0
+        assert len(trace.timestamps) == int(30.0 / TRACE_INTERVAL_S)
+
+
+def test_trace_sample_interval_matches_paper_format():
+    trace = make_wifi_trace(RngStream(1, "x"), duration=10.0)
+    steps = [b - a for a, b in zip(trace.timestamps, trace.timestamps[1:])]
+    assert all(abs(s - TRACE_INTERVAL_S) < 1e-9 for s in steps)
+
+
+def test_weak_network_venues():
+    for venue in ("canteen", "coffee_shop", "airport"):
+        trace = make_weak_network_trace(RngStream(1, venue), venue=venue)
+        assert trace.mean_rate() < 40e6  # weak networks are slow
+    with pytest.raises(ValueError):
+        make_weak_network_trace(RngStream(1, "x"), venue="moon-base")
+
+
+def test_campus_trace_diurnal_load():
+    """Midday (peak) campus Wi-Fi should be slower than 4am."""
+    peak = make_campus_wifi_trace(RngStream(1, "c"), hour_of_day=16.0)
+    night = make_campus_wifi_trace(RngStream(1, "c"), hour_of_day=4.0)
+    assert night.mean_rate() > peak.mean_rate()
+
+
+def test_step_trace_shape():
+    trace = make_step_trace(high_mbps=50, low_mbps=10, step_at=5.0,
+                            duration=20.0, recover_at=15.0)
+    assert trace.rate_at(1.0) == 50e6
+    assert trace.rate_at(10.0) == 10e6
+    assert trace.rate_at(16.0) == 50e6
+
+
+def test_trace_library_statistics_match_paper():
+    """Cross-trace median ~55 Mbps, p25 ~29, p75 ~125 (paper §6.1)."""
+    lib = TraceLibrary(seed=1, duration=60.0)
+    stats = lib.summary()
+    assert 35 <= stats["median_mbps"] <= 80
+    assert 18 <= stats["p25_mbps"] <= 45
+    assert 80 <= stats["p75_mbps"] <= 180
+    assert len(lib.all_traces()) == 9
+    for cls in ("wifi", "4g", "5g"):
+        assert len(lib.by_class(cls)) == 3
+    with pytest.raises(KeyError):
+        lib.by_class("dialup")

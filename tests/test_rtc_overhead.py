@@ -1,0 +1,54 @@
+"""Tests for the runtime CPU/memory overhead model (Appendix B)."""
+
+import pytest
+
+from repro.rtc.overhead import OverheadModel
+from repro.video.codec.presets import x264_config
+
+
+@pytest.fixture
+def model():
+    return OverheadModel(x264_config())
+
+
+def test_sender_cpu_grows_with_bitrate(model):
+    low = model.sender_cpu(5e6, 30.0).cpu_percent
+    high = model.sender_cpu(30e6, 30.0).cpu_percent
+    assert high > low
+
+
+def test_sender_cpu_grows_with_fps(model):
+    slow = model.sender_cpu(10e6, 30.0).cpu_percent
+    fast = model.sender_cpu(10e6, 60.0).cpu_percent
+    assert fast > slow
+
+
+def test_sender_cpu_grows_with_complexity(model):
+    """Appendix B / Fig. 27: sender cost rises with complexity level."""
+    c0 = model.sender_cpu(10e6, 30.0, level_index=0).cpu_percent
+    c2 = model.sender_cpu(10e6, 30.0, level_index=2).cpu_percent
+    assert c2 > c0
+
+
+def test_receiver_flat_in_complexity(model):
+    """The asymmetry ACE relies on: the receiver never pays for ACE-C."""
+    r0 = model.receiver_cpu(10e6, 30.0, level_index=0).cpu_percent
+    r2 = model.receiver_cpu(10e6, 30.0, level_index=2).cpu_percent
+    assert r0 == pytest.approx(r2)
+
+
+def test_ace_elevation_adds_small_sender_cost(model):
+    """ACE-C elevating ~3-5% of frames adds only marginal CPU (Fig. 22)."""
+    base = model.sender_cpu(10e6, 30.0, elevated_fraction=0.0).cpu_percent
+    ace = model.sender_cpu(10e6, 30.0, elevated_fraction=0.05).cpu_percent
+    full = model.sender_cpu(10e6, 30.0, level_index=2).cpu_percent
+    assert base < ace < full
+    assert (ace - base) < 0.2 * (full - base)
+
+
+def test_memory_sender_exceeds_receiver_growth(model):
+    s0 = model.sender_cpu(10e6, 30.0, level_index=0).memory_mb
+    s2 = model.sender_cpu(10e6, 30.0, level_index=2).memory_mb
+    r = model.receiver_cpu(10e6, 30.0).memory_mb
+    assert s2 > s0
+    assert r == model.receiver_cpu(10e6, 30.0, level_index=2).memory_mb

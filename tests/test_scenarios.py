@@ -1,0 +1,58 @@
+"""Tests for the named scenario presets."""
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import SCENARIOS, get_scenario, list_scenarios, run_scenario
+
+
+def test_registry_lists_paper_sections():
+    names = list_scenarios()
+    for expected in ("main-tradeoff", "ablation", "production", "campus"):
+        assert expected in names
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError):
+        get_scenario("moon-streaming")
+
+
+def test_every_scenario_well_formed():
+    for name, scenario in SCENARIOS.items():
+        assert scenario.baselines, name
+        assert scenario.traces, name
+        assert scenario.duration > 0
+        assert scenario.description
+
+
+def test_run_scenario_produces_full_matrix():
+    results = run_scenario("ablation", seed=2, duration=3.0)
+    scenario = get_scenario("ablation")
+    assert len(results) == len(scenario.baselines) * len(scenario.traces)
+    baselines = {r.baseline for r in results}
+    assert baselines == set(scenario.baselines)
+    for r in results:
+        assert r.frames > 60
+        assert r.extra.get("scenario") == "ablation"
+
+
+def test_category_override():
+    results = run_scenario("categories", seed=2, duration=3.0,
+                           category="lecture")
+    assert all(r.category == "lecture" for r in results)
+
+
+def test_cli_lists_scenarios(capsys):
+    assert main(["scenario"]) == 0
+    out = capsys.readouterr().out
+    assert "main-tradeoff" in out and "production" in out
+
+
+def test_cli_runs_scenario_and_writes_json(tmp_path, capsys):
+    out_file = tmp_path / "scenario.json"
+    rc = main(["scenario", "lossy-link", "--duration", "3",
+               "--out", str(out_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ace-fec" in out
+    assert out_file.exists()

@@ -1,0 +1,130 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.events import EventLoop, SimulationError
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.call_at(0.3, lambda: order.append("c"))
+    loop.call_at(0.1, lambda: order.append("a"))
+    loop.call_at(0.2, lambda: order.append("b"))
+    loop.drain()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    loop = EventLoop()
+    order = []
+    for tag in "abc":
+        loop.call_at(1.0, lambda t=tag: order.append(t))
+    loop.drain()
+    assert order == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.call_at(2.5, lambda: seen.append(loop.now))
+    loop.drain()
+    assert seen == [2.5]
+    assert loop.now == 2.5
+
+
+def test_call_later_is_relative():
+    loop = EventLoop()
+    times = []
+    loop.call_later(1.0, lambda: loop.call_later(0.5, lambda: times.append(loop.now)))
+    loop.drain()
+    assert times == [pytest.approx(1.5)]
+
+
+def test_scheduling_in_past_raises():
+    loop = EventLoop()
+    loop.call_at(1.0, lambda: None)
+    loop.drain()
+    with pytest.raises(SimulationError):
+        loop.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.call_later(-0.1, lambda: None)
+
+
+def test_nan_time_raises():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.call_at(float("nan"), lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    loop = EventLoop()
+    fired = []
+    event = loop.call_at(1.0, lambda: fired.append("cancelled"))
+    loop.call_at(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    loop.drain()
+    assert fired == ["kept"]
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(1.0, lambda: fired.append(1.0))
+    loop.call_at(2.0, lambda: fired.append(2.0))
+    loop.run(until=1.0)
+    assert fired == [1.0]
+    loop.run(until=1.5)
+    assert loop.now == 1.5          # clock advanced despite no event
+    assert loop.pending == 1        # the 2.0 event still queued
+    loop.run(until=2.0)
+    assert fired == [1.0, 2.0]
+
+
+def test_run_max_events_budget():
+    loop = EventLoop()
+    count = []
+
+    def reschedule():
+        count.append(1)
+        loop.call_later(0.001, reschedule)
+
+    loop.call_later(0.0, reschedule)
+    loop.run(max_events=10)
+    assert len(count) == 10
+
+
+def test_events_scheduled_at_now_fire_after_current():
+    loop = EventLoop()
+    order = []
+
+    def first():
+        order.append("first")
+        loop.call_at(loop.now, lambda: order.append("second"))
+
+    loop.call_at(1.0, first)
+    loop.drain()
+    assert order == ["first", "second"]
+
+
+def test_drain_guard_raises_on_runaway():
+    loop = EventLoop()
+
+    def forever():
+        loop.call_later(0.001, forever)
+
+    loop.call_later(0.0, forever)
+    with pytest.raises(SimulationError):
+        loop.drain(max_events=100)
+
+
+def test_processed_counter():
+    loop = EventLoop()
+    for i in range(5):
+        loop.call_at(float(i), lambda: None)
+    loop.drain()
+    assert loop.processed == 5

@@ -1,0 +1,54 @@
+"""Tests for Mahimahi trace-file interop."""
+
+import pytest
+
+from repro.net.trace import BandwidthTrace
+from repro.sim.rng import RngStream
+from repro.net.trace import make_wifi_trace
+
+
+def test_load_simple_trace(tmp_path):
+    # 10 packet opportunities per 200 ms bucket = 10*1500*8/0.2 = 600 kbps
+    path = tmp_path / "trace"
+    stamps = [int(i * 20) + 1 for i in range(50)]  # one per 20 ms over 1 s
+    path.write_text("\n".join(map(str, stamps)))
+    trace = BandwidthTrace.from_mahimahi_file(path)
+    assert trace.rate_at(0.1) == pytest.approx(10 * 1500 * 8 / 0.2, rel=0.15)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        BandwidthTrace.from_mahimahi_file(path)
+
+
+def test_roundtrip_preserves_mean_rate(tmp_path):
+    original = make_wifi_trace(RngStream(2, "t"), duration=20.0)
+    path = tmp_path / "rt"
+    original.to_mahimahi_file(path)
+    loaded = BandwidthTrace.from_mahimahi_file(path)
+    assert loaded.mean_rate() == pytest.approx(original.mean_rate(), rel=0.1)
+
+
+def test_written_file_is_sorted_millisecond_integers(tmp_path):
+    trace = BandwidthTrace.constant(6e6, duration=2.0)
+    path = tmp_path / "out"
+    trace.to_mahimahi_file(path)
+    stamps = [int(line) for line in path.read_text().split()]
+    assert stamps == sorted(stamps)
+    assert all(s >= 1 for s in stamps)
+
+
+def test_loaded_trace_drives_a_session(tmp_path):
+    from repro.rtc.baselines import build_session
+    from repro.rtc.session import SessionConfig
+
+    original = BandwidthTrace.constant(15e6, duration=15.0)
+    path = tmp_path / "drive"
+    original.to_mahimahi_file(path)
+    loaded = BandwidthTrace.from_mahimahi_file(path)
+    metrics = build_session(
+        "cbr", loaded, SessionConfig(duration=3.0, seed=2,
+                                     initial_bwe_bps=8e6)).run()
+    assert len(metrics.displayed_frames()) > 60

@@ -1,0 +1,93 @@
+"""Tests for event tracing and frame-timeline export."""
+
+import pytest
+
+from repro.analysis.timeline import frame_rows, load_csv, to_csv
+from repro.net.trace import BandwidthTrace
+from repro.rtc.baselines import build_session
+from repro.rtc.session import SessionConfig
+from repro.sim.events import EventLoop
+from repro.sim.tracing import Tracer
+
+
+class TestTracer:
+    def test_records_executed_events(self):
+        loop = EventLoop()
+        tracer = Tracer(loop).install()
+        loop.call_at(0.1, lambda: None, name="a")
+        loop.call_at(0.2, lambda: None, name="b")
+        loop.drain()
+        assert [r.name for r in tracer.records] == ["a", "b"]
+        assert [r.time for r in tracer.records] == [0.1, 0.2]
+
+    def test_name_filter(self):
+        loop = EventLoop()
+        tracer = Tracer(loop, name_filter=lambda n: n.startswith("x")).install()
+        loop.call_at(0.1, lambda: None, name="x.keep")
+        loop.call_at(0.2, lambda: None, name="y.drop")
+        loop.drain()
+        assert [r.name for r in tracer.records] == ["x.keep"]
+
+    def test_uninstall_stops_recording(self):
+        loop = EventLoop()
+        tracer = Tracer(loop).install()
+        loop.call_at(0.1, lambda: None, name="before")
+        loop.drain()
+        tracer.uninstall()
+        loop.call_at(0.2, lambda: None, name="after")
+        loop.drain()
+        assert [r.name for r in tracer.records] == ["before"]
+
+    def test_annotations_and_queries(self):
+        loop = EventLoop()
+        tracer = Tracer(loop).install()
+        loop.call_at(0.1, lambda: tracer.annotate("mid-run"), name="work")
+        loop.drain()
+        names = tracer.counts()
+        assert names["work"] == 1
+        assert names["annotation"] == 1
+        assert len(tracer.between(0.05, 0.15)) == 2
+
+    def test_traces_a_real_session(self):
+        trace = BandwidthTrace.constant(15e6, duration=10.0)
+        session = build_session(
+            "cbr", trace, SessionConfig(duration=2.0, seed=2,
+                                        initial_bwe_bps=8e6))
+        tracer = Tracer(session.loop,
+                        name_filter=lambda n: n == "sender.capture").install()
+        session.run()
+        assert 55 <= len(tracer.records) <= 70  # one per frame interval
+
+    def test_dump_truncates(self):
+        loop = EventLoop()
+        tracer = Tracer(loop).install()
+        for i in range(100):
+            loop.call_at(i * 0.01, lambda: None, name="tick")
+        loop.drain()
+        text = tracer.dump(limit=10)
+        assert "more" in text
+
+
+class TestTimeline:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        trace = BandwidthTrace.constant(15e6, duration=12.0)
+        session = build_session(
+            "webrtc-star", trace, SessionConfig(duration=3.0, seed=2,
+                                                initial_bwe_bps=8e6))
+        return session.run()
+
+    def test_rows_cover_all_frames(self, metrics):
+        rows = frame_rows(metrics)
+        assert len(rows) == len(metrics.frames)
+        assert rows[0]["frame_id"] == 0
+        assert rows[-1]["e2e_latency"] is None or rows[-1]["e2e_latency"] > 0
+
+    def test_csv_roundtrip(self, metrics, tmp_path):
+        path = tmp_path / "timeline.csv"
+        text = to_csv(metrics, path)
+        assert text.startswith("frame_id,")
+        loaded = load_csv(path)
+        assert len(loaded) == len(metrics.frames)
+        assert loaded[0]["frame_id"] == "0"
+        assert float(loaded[5]["capture_time"]) == pytest.approx(5 / 30.0)

@@ -1,0 +1,83 @@
+"""Tests for transport feedback and loss/NACK tracking."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketType
+from repro.transport.feedback import FeedbackBuilder
+
+
+def arrived(seq, t=1.0, size=1200, frame_id=0, rtx_of=None):
+    p = Packet(size_bytes=size, seq=seq, frame_id=frame_id,
+               retransmission_of=rtx_of)
+    p.t_leave_pacer = t - 0.02
+    p.t_arrival = t
+    return p
+
+
+def test_reports_collect_and_clear():
+    fb = FeedbackBuilder()
+    fb.on_packet(arrived(0))
+    fb.on_packet(arrived(1))
+    msg = fb.build(now=1.0)
+    assert len(msg.reports) == 2
+    assert msg.highest_seq == 1
+    assert fb.build(now=2.0).reports == []
+
+
+def test_gap_is_nacked_after_reorder_margin():
+    fb = FeedbackBuilder(reorder_margin=2)
+    for seq in (0, 1, 3, 4, 5, 6):
+        fb.on_packet(arrived(seq))
+    msg = fb.build(now=1.0)
+    assert msg.nacked_seqs == [2]
+    assert msg.cumulative_lost == 1
+
+
+def test_gap_within_reorder_margin_not_yet_nacked():
+    fb = FeedbackBuilder(reorder_margin=3)
+    for seq in (0, 1, 3):
+        fb.on_packet(arrived(seq))
+    msg = fb.build(now=1.0)
+    assert msg.nacked_seqs == []  # 2 might still be in flight
+
+
+def test_repeated_nacks_until_cap():
+    fb = FeedbackBuilder(reorder_margin=0, max_nacks_per_seq=3)
+    for seq in (0, 2):
+        fb.on_packet(arrived(seq))
+    nack_rounds = [fb.build(now=float(i)).nacked_seqs for i in range(5)]
+    assert nack_rounds[:3] == [[1], [1], [1]]
+    assert nack_rounds[3] == []
+
+
+def test_cumulative_loss_counts_each_seq_once():
+    fb = FeedbackBuilder(reorder_margin=0)
+    fb.on_packet(arrived(0))
+    fb.on_packet(arrived(2))
+    fb.build(now=1.0)
+    msg = fb.build(now=2.0)
+    assert msg.cumulative_lost == 1  # seq 1 counted once, not per round
+
+
+def test_retransmission_recovers_nack():
+    fb = FeedbackBuilder(reorder_margin=0)
+    fb.on_packet(arrived(0))
+    fb.on_packet(arrived(2))
+    assert fb.build(now=1.0).nacked_seqs == [1]
+    fb.on_packet(arrived(10, rtx_of=1))
+    assert fb.build(now=2.0).nacked_seqs == []
+
+
+def test_reports_carry_timing():
+    fb = FeedbackBuilder()
+    fb.on_packet(arrived(0, t=1.5))
+    report = fb.build(now=2.0).reports[0]
+    assert report.arrival_time == 1.5
+    assert report.one_way_delay == pytest.approx(0.02)
+
+
+def test_received_bytes_sum():
+    fb = FeedbackBuilder()
+    fb.on_packet(arrived(0, size=1000))
+    fb.on_packet(arrived(1, size=500))
+    assert fb.build(now=1.0).received_bytes == 1500

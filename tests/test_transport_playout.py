@@ -1,0 +1,76 @@
+"""Tests for the adaptive playout buffer."""
+
+import numpy as np
+import pytest
+
+from repro.net.trace import make_wifi_trace
+from repro.rtc.baselines import build_session
+from repro.rtc.session import SessionConfig
+from repro.sim.rng import RngStream
+from repro.transport.playout import PlayoutBuffer, PlayoutConfig
+
+
+class TestController:
+    def test_on_time_frames_display_at_slot(self):
+        buf = PlayoutBuffer(PlayoutConfig(initial_target=0.10))
+        # decodable 50 ms after capture; slot is at +100 ms
+        display = buf.schedule(capture_time=1.0, earliest_display=1.05)
+        assert display == pytest.approx(1.10)
+        assert buf.underruns == 0
+
+    def test_underrun_displays_immediately_and_grows_target(self):
+        buf = PlayoutBuffer(PlayoutConfig(initial_target=0.10))
+        display = buf.schedule(capture_time=1.0, earliest_display=1.25)
+        assert display == pytest.approx(1.25)
+        assert buf.underruns == 1
+        assert buf.target_delay > 0.10
+
+    def test_target_decays_when_network_is_fast(self):
+        buf = PlayoutBuffer(PlayoutConfig(initial_target=0.30))
+        for i in range(300):
+            buf.schedule(capture_time=i * 0.033,
+                         earliest_display=i * 0.033 + 0.05)
+        assert buf.target_delay < 0.10
+
+    def test_target_tracks_jitter_percentile(self):
+        buf = PlayoutBuffer(PlayoutConfig(initial_target=0.05))
+        rng = np.random.default_rng(3)
+        for i in range(400):
+            delay = 0.05 + abs(rng.normal(0, 0.03))
+            buf.schedule(capture_time=i * 0.033,
+                         earliest_display=i * 0.033 + delay)
+        # target settles above the typical delay but below the max cap
+        assert 0.06 < buf.target_delay < 0.30
+
+    def test_bounds_respected(self):
+        cfg = PlayoutConfig(initial_target=0.10, min_target=0.04,
+                            max_target=0.20)
+        buf = PlayoutBuffer(cfg)
+        buf.schedule(1.0, 5.0)  # colossal underrun
+        assert buf.target_delay <= 0.20
+        for i in range(500):
+            buf.schedule(10 + i * 0.033, 10 + i * 0.033 + 0.001)
+        assert buf.target_delay >= 0.04
+
+
+class TestPipelinePlayout:
+    def _run(self, with_playout):
+        trace = make_wifi_trace(RngStream(4, "t"), duration=40.0)
+        cfg = SessionConfig(duration=20.0, seed=5, initial_bwe_bps=6e6)
+        session = build_session("webrtc-star", trace, cfg)
+        if with_playout:
+            session.receiver.playout = PlayoutBuffer()
+        return session.run()
+
+    def test_playout_smooths_cadence_at_delay_cost(self):
+        plain = self._run(with_playout=False)
+        buffered = self._run(with_playout=True)
+        # fewer/shorter stalls, but typical latency grows by the target
+        assert buffered.stall_rate() <= plain.stall_rate() + 0.002
+        assert (buffered.latency_percentile(50)
+                >= plain.latency_percentile(50))
+
+    def test_display_order_preserved(self):
+        metrics = self._run(with_playout=True)
+        times = [f.displayed_at for f in metrics.displayed_frames()]
+        assert times == sorted(times)

@@ -1,0 +1,88 @@
+"""Tests for synthetic content sources."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStream
+from repro.video.source import (
+    CONTENT_CATEGORIES,
+    MixedSource,
+    VideoSource,
+)
+
+
+def collect_satd(cat, n=5000, seed=11):
+    src = VideoSource.from_category(cat, RngStream(seed, f"src.{cat}"))
+    return np.array([f.satd for f in src.frames(n)])
+
+
+def test_frames_have_monotonic_ids_and_times():
+    src = VideoSource.from_category("gaming", RngStream(1, "s"), fps=30.0)
+    frames = list(src.frames(10))
+    assert [f.frame_id for f in frames] == list(range(10))
+    intervals = [b.capture_time - a.capture_time
+                 for a, b in zip(frames, frames[1:])]
+    assert all(abs(i - 1 / 30.0) < 1e-9 for i in intervals)
+
+
+def test_unknown_category_raises():
+    with pytest.raises(KeyError):
+        VideoSource.from_category("cooking", RngStream(1, "s"))
+
+
+def test_invalid_fps_raises():
+    with pytest.raises(ValueError):
+        VideoSource(CONTENT_CATEGORIES["vlog"], RngStream(1, "s"), fps=0)
+
+
+def test_satd_positive_and_bounded():
+    satd = collect_satd("gaming")
+    assert (satd > 0).all()
+    profile = CONTENT_CATEGORIES["gaming"]
+    # The cap is relative to base*motion; allow motion drift headroom.
+    assert satd.max() / satd.mean() < profile.max_relative_satd * 4
+
+
+def test_variability_orders_by_category():
+    """Fig. 8: variability grows from lecture to gaming."""
+    cv = {cat: collect_satd(cat).std() / collect_satd(cat).mean()
+          for cat in ("lecture", "vlog", "gaming")}
+    assert cv["lecture"] < cv["vlog"] < cv["gaming"]
+
+
+def test_gaming_tail_heavier_than_lecture():
+    gaming = collect_satd("gaming")
+    lecture = collect_satd("lecture")
+    frac_gaming = (gaming > 2 * gaming.mean()).mean()
+    frac_lecture = (lecture > 2 * lecture.mean()).mean()
+    assert frac_gaming > frac_lecture
+
+
+def test_deterministic_given_seed():
+    a = collect_satd("sports", n=100, seed=5)
+    b = collect_satd("sports", n=100, seed=5)
+    assert (a == b).all()
+
+
+def test_scene_changes_marked_and_spiky():
+    src = VideoSource.from_category("gaming", RngStream(2, "s"))
+    frames = list(src.frames(20000))
+    cuts = [f for f in frames if f.scene_change]
+    normal = [f for f in frames if not f.scene_change]
+    assert cuts, "expected some scene changes in 20k gaming frames"
+    assert (np.mean([f.satd for f in cuts])
+            > np.mean([f.satd for f in normal]))
+
+
+class TestMixedSource:
+    def test_cycles_through_categories(self):
+        src = MixedSource(RngStream(1, "mix"), segment_frames=10)
+        frames = list(src.frames(60))
+        cats = {f.category for f in frames}
+        assert cats == set(CONTENT_CATEGORIES)
+
+    def test_ids_and_times_continuous_across_segments(self):
+        src = MixedSource(RngStream(1, "mix"), segment_frames=5, fps=30.0)
+        frames = list(src.frames(20))
+        assert [f.frame_id for f in frames] == list(range(20))
+        assert frames[10].capture_time == pytest.approx(10 / 30.0)
