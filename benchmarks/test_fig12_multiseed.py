@@ -4,33 +4,46 @@ The single-seed Fig. 12 bench shows the frontier; this companion checks
 the claim survives workload randomness: ACE's P95 cut versus WebRTC*
 must hold on every paired (trace, seed) workload, and the aggregate cut
 must stay large.
+
+The (baseline x trace x seed) grid runs through the parallel runner —
+set ``REPRO_JOBS=N`` to fan it across processes (results are identical
+to serial) — and memoizes per-cell results on disk, so re-runs while
+iterating on analysis code are near-instant (``REPRO_CACHE=off`` to
+force fresh sessions). Cache counters are printed with the results.
 """
 
-from repro.analysis import RunResult, aggregate, paired_compare, render_aggregate
-from repro.bench.workloads import once, run_baseline, trace_library
+import os
+
+from repro.analysis import ResultCache, RunResult, aggregate, paired_compare, \
+    render_aggregate
+from repro.bench.parallel import ParallelRunner, run_grid
+from repro.bench.workloads import once, trace_library
 
 BASELINES = ("ace", "webrtc-star", "cbr")
 SEEDS = (3, 11)
 CLASSES = ("wifi", "5g")
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def run_experiment():
-    results = []
-    for cls in CLASSES:
-        trace = trace_library().by_class(cls)[0]
-        for seed in SEEDS:
-            for name in BASELINES:
-                metrics = run_baseline(name, trace, duration=25.0, seed=seed)
-                results.append(RunResult.from_metrics(
-                    metrics, baseline=name, trace=cls, seed=seed))
-    return results
+    traces = [trace_library().by_class(cls)[0] for cls in CLASSES]
+    class_of = {trace.name: cls for cls, trace in zip(CLASSES, traces)}
+    runner = ParallelRunner(jobs=JOBS, cache=ResultCache())
+    grid = run_grid(list(BASELINES), traces, seeds=SEEDS, duration=25.0,
+                    runner=runner)
+    results = [
+        RunResult.from_metrics(metrics, baseline=name,
+                               trace=class_of[trace_name], seed=seed)
+        for (name, trace_name, seed, _cat), metrics in grid.items()
+    ]
+    return results, runner.counters()
 
 
 def test_fig12_multiseed(benchmark):
-    results = once(benchmark, run_experiment)
+    results, counters = once(benchmark, run_experiment)
     print()
     print("=== Fig. 12 aggregated over seeds "
-          f"{SEEDS} x traces {CLASSES} ===")
+          f"{SEEDS} x traces {CLASSES} ({counters}) ===")
     print(render_aggregate(aggregate(results)))
     latency = paired_compare(results, "ace", "webrtc-star",
                              metric="p95_latency")

@@ -3,29 +3,42 @@
 Paper: ACE cuts latency ~70% on high-motion Gaming while matching
 WebRTC*'s quality; on static Lecture content frame sizes are stable, so
 the gains (and CBR's quality loss) shrink.
+
+The (baseline x category) grid runs through the parallel runner
+(``REPRO_JOBS=N`` fans it across processes) with on-disk result
+caching; cache counters are printed with the table.
 """
 
+import os
+
+from repro.analysis import ResultCache
 from repro.bench import fmt_ms, print_table
-from repro.bench.workloads import once, run_baselines, trace_library
+from repro.bench.parallel import ParallelRunner, run_grid
+from repro.bench.workloads import once, trace_library
 
 CATEGORIES = ("gaming", "sports", "vlog", "music", "lecture")
 BASELINES = ("ace", "webrtc-star", "cbr")
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def run_experiment():
     trace = trace_library().by_class("wifi")[0]
-    results = {}
-    for cat in CATEGORIES:
-        results[cat] = {
-            name: (m.p95_latency(), m.mean_vmaf())
-            for name, m in run_baselines(list(BASELINES), trace,
-                                         duration=25.0, category=cat).items()
+    runner = ParallelRunner(jobs=JOBS, cache=ResultCache())
+    grid = run_grid(list(BASELINES), [trace], seeds=(3,),
+                    categories=CATEGORIES, duration=25.0, runner=runner)
+    results = {
+        cat: {
+            name: (grid[(name, trace.name, 3, cat)].p95_latency(),
+                   grid[(name, trace.name, 3, cat)].mean_vmaf())
+            for name in BASELINES
         }
-    return results
+        for cat in CATEGORIES
+    }
+    return results, runner.counters()
 
 
 def test_fig13_video_categories(benchmark):
-    results = once(benchmark, run_experiment)
+    results, counters = once(benchmark, run_experiment)
     rows = []
     for cat, by_name in results.items():
         ace, star, cbr = by_name["ace"], by_name["webrtc-star"], by_name["cbr"]
@@ -35,7 +48,8 @@ def test_fig13_video_categories(benchmark):
                      f"{cbr[1]:.1f}"])
     print_table(
         "Fig. 13: per-category P95 latency and VMAF "
-        "(paper: biggest ACE gains on gaming, smallest on lecture)",
+        "(paper: biggest ACE gains on gaming, smallest on lecture) "
+        f"({counters})",
         ["category", "ACE p95", "WebRTC* p95", "CBR p95",
          "ACE cut", "ACE VMAF", "WebRTC* VMAF", "CBR VMAF"],
         rows,

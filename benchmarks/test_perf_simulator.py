@@ -3,16 +3,32 @@
 Unlike the figure/table benches (which run an experiment once and print
 its reproduction), these measure the library's own hot paths so
 regressions in simulation throughput are caught: event-loop dispatch,
-token-bucket accounting, packetization, and end-to-end session speed.
+token-bucket accounting, packetization, trace lookups, end-to-end
+session speed, and the parallel grid runner's scaling.
+
+``scripts/check_perf.py`` compares a ``--benchmark-json`` dump of this
+module against the committed ``BENCH_perf_simulator.json`` snapshot and
+fails on large regressions.
 """
 
+import os
+import time
+
+import pytest
+
+from repro.bench.parallel import run_grid
 from repro.core.token_bucket import TokenBucket
 from repro.net.trace import BandwidthTrace
 from repro.rtc.baselines import build_session
 from repro.rtc.session import SessionConfig
 from repro.sim.events import EventLoop
+from repro.sim.rng import RngStream
 from repro.transport.rtp import Packetizer
 from repro.video.frame import EncodedFrame
+
+#: opt-in marker: ``pytest benchmarks -m "not perf"`` skips the timing
+#: benches (figure reproductions don't need them).
+pytestmark = pytest.mark.perf
 
 
 def test_perf_event_loop_dispatch(benchmark):
@@ -73,3 +89,53 @@ def test_perf_full_session_throughput(benchmark):
 
     frames = benchmark.pedantic(run_session, rounds=3, iterations=1)
     assert frames >= 145
+
+
+def test_perf_trace_rate_lookup(benchmark):
+    """Sequential ``rate_at`` throughput on a *varying* trace.
+
+    A varying trace forces the monotonic-cursor path (flat traces take a
+    constant-rate shortcut), and the lookup pattern mirrors the link's:
+    non-decreasing times, wrapping past the trace end into the next loop.
+    """
+    from repro.net.trace import make_wifi_trace
+    trace = make_wifi_trace(RngStream(1, "perf.rate_at"), duration=120.0)
+    assert trace._flat_rate is None  # must exercise the cursor machinery
+
+    def lookups():
+        rate_at = trace.rate_at
+        total = 0.0
+        t = 0.0
+        for _ in range(200_000):
+            t += 0.0015  # ~2.5 trace loops over the run
+            total += rate_at(t)
+        return total
+
+    assert benchmark(lookups) > 0
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="parallel speedup needs >= 4 cores")
+def test_perf_parallel_grid_speedup(benchmark):
+    """The process-pool runner must beat serial on a real grid."""
+    traces = [
+        BandwidthTrace.constant(15e6, duration=10.0, name="flat-15"),
+        BandwidthTrace.constant(25e6, duration=10.0, name="flat-25"),
+    ]
+    grid = dict(baselines=["ace", "webrtc-star"], traces=traces,
+                seeds=(3, 11), duration=2.5)
+
+    def timed(jobs):
+        start = time.perf_counter()
+        out = run_grid(jobs=jobs, **grid)
+        return time.perf_counter() - start, out
+
+    serial_s, serial = timed(1)
+    parallel_s, parallel = benchmark.pedantic(
+        lambda: timed(os.cpu_count()), rounds=1, iterations=1)
+    assert list(serial) == list(parallel)
+    speedup = serial_s / parallel_s
+    print(f"\nparallel grid: serial {serial_s:.2f}s, "
+          f"parallel {parallel_s:.2f}s on {os.cpu_count()} cores "
+          f"({speedup:.2f}x)")
+    assert speedup > 1.5

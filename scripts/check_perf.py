@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate simulator performance against the committed baseline.
+
+Compares a pytest-benchmark JSON dump of
+``benchmarks/test_perf_simulator.py`` against the snapshot in
+``BENCH_perf_simulator.json`` and exits non-zero when any bench's
+minimum wall time regressed by more than ``--threshold`` (default
+1.5x). Minima are compared — the most load-robust statistic on shared
+CI machines.
+
+Usage:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_simulator.py \
+        --benchmark-json=/tmp/bench.json
+    python scripts/check_perf.py /tmp/bench.json          # gate
+    python scripts/check_perf.py /tmp/bench.json --update # new baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_SNAPSHOT = Path(__file__).resolve().parent.parent / \
+    "BENCH_perf_simulator.json"
+DEFAULT_THRESHOLD = 1.5
+
+
+def load_mins(bench_json: Path) -> dict[str, float]:
+    """Per-bench minimum seconds from a pytest-benchmark dump."""
+    data = json.loads(bench_json.read_text())
+    return {b["name"]: float(b["stats"]["min"]) for b in data["benchmarks"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--snapshot", type=Path, default=DEFAULT_SNAPSHOT)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fail when min time exceeds baseline x this "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the snapshot from bench_json and exit")
+    args = parser.parse_args(argv)
+
+    current = load_mins(args.bench_json)
+    if not current:
+        print("check_perf: no benchmarks in dump", file=sys.stderr)
+        return 2
+
+    if args.update:
+        snap = {
+            "_comment": "Committed perf baseline for "
+                        "benchmarks/test_perf_simulator.py; min wall-clock "
+                        "seconds per bench. Regenerate with "
+                        "scripts/check_perf.py --update <benchmark-json>.",
+            "benchmarks": {k: round(v, 6) for k, v in current.items()},
+        }
+        args.snapshot.write_text(json.dumps(snap, indent=2, sort_keys=True)
+                                 + "\n")
+        print(f"check_perf: wrote {len(current)} baselines "
+              f"to {args.snapshot}")
+        return 0
+
+    baseline = json.loads(args.snapshot.read_text())["benchmarks"]
+    failures = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  skip {name}: not in this run (marker/skip?)")
+            continue
+        ratio = current[name] / baseline[name]
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(f"  {status:>4} {name}: {current[name] * 1e3:.2f} ms "
+              f"vs baseline {baseline[name] * 1e3:.2f} ms ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failures.append(name)
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  new  {name}: {current[name] * 1e3:.2f} ms (no baseline)")
+
+    if failures:
+        print(f"check_perf: {len(failures)} regression(s) beyond "
+              f"{args.threshold}x: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("check_perf: all benches within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,15 @@ result records, renders human-readable reports, and diffs runs — the
 layer a downstream user builds dashboards and regression checks on.
 """
 
-from repro.analysis.results import RunResult, load_results, save_results
+from repro.analysis.cache import ResultCache, code_version, trace_fingerprint
+from repro.analysis.results import (
+    RunResult,
+    canonical_metrics_json,
+    load_results,
+    metrics_from_dict,
+    metrics_to_dict,
+    save_results,
+)
 from repro.analysis.report import compare_runs, latency_report, session_report
 from repro.analysis.aggregate import (
     MetricSummary,
@@ -17,6 +25,12 @@ from repro.analysis.aggregate import (
 
 __all__ = [
     "RunResult",
+    "ResultCache",
+    "canonical_metrics_json",
+    "code_version",
+    "metrics_to_dict",
+    "metrics_from_dict",
+    "trace_fingerprint",
     "save_results",
     "load_results",
     "session_report",

@@ -1,0 +1,190 @@
+"""On-disk cache of session results keyed by workload content.
+
+Experiment sweeps re-run the same (baseline, config, trace) workloads
+constantly — across bench modules, across seeds of the same figure, and
+across repeated invocations while iterating on analysis code. Sessions
+are deterministic, so a result is fully determined by its inputs plus
+the simulator source itself; this module memoizes
+:class:`~repro.rtc.metrics.SessionMetrics` on disk under a key that
+hashes all of them:
+
+* baseline name and any build overrides,
+* the full :class:`~repro.rtc.session.SessionConfig`,
+* a fingerprint of the bandwidth trace (name + every sample),
+* content category,
+* a version hash of every ``repro`` source file, so any code change
+  silently invalidates all prior entries.
+
+Control knobs (environment):
+
+* ``REPRO_CACHE=off`` (also ``0``/``no``/``false``) disables the cache
+  entirely — every lookup misses and nothing is written.
+* ``REPRO_CACHE_DIR=<path>`` overrides the cache directory (default
+  ``~/.cache/repro-ace``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.results import metrics_from_dict, metrics_to_dict
+from repro.net.trace import BandwidthTrace
+from repro.rtc.metrics import SessionMetrics
+from repro.rtc.session import SessionConfig
+
+#: values of ``REPRO_CACHE`` that disable caching.
+_OFF_VALUES = {"off", "0", "no", "false"}
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file (lazily computed, memoized).
+
+    Included in every cache key so a cached result can never outlive the
+    simulator code that produced it.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        root = Path(__file__).resolve().parents[1]  # src/repro
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def trace_fingerprint(trace: BandwidthTrace) -> str:
+    """Content hash of a trace: its name plus every (time, rate) sample."""
+    digest = hashlib.sha256()
+    digest.update(trace.name.encode())
+    digest.update(b"\0")
+    for t, rate in zip(trace.timestamps, trace.rates_bps):
+        digest.update(repr(float(t)).encode())
+        digest.update(b",")
+        digest.update(repr(float(rate)).encode())
+        digest.update(b";")
+    return digest.hexdigest()[:16]
+
+
+def cache_enabled_by_env() -> bool:
+    """Whether ``REPRO_CACHE`` permits caching (default: yes)."""
+    return os.environ.get("REPRO_CACHE", "").strip().lower() not in _OFF_VALUES
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-ace"
+
+
+class ResultCache:
+    """Content-addressed store of serialized :class:`SessionMetrics`.
+
+    Entries are one JSON file per key under ``cache_dir``; writes are
+    atomic (tempfile + rename) so concurrent workers never observe a
+    torn entry. Counters (``hits``/``misses``/``stores``) accumulate
+    over the cache object's lifetime — benches print them so cached
+    reruns are visible in the output.
+    """
+
+    def __init__(self, cache_dir: Optional[str | Path] = None,
+                 enabled: Optional[bool] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.enabled = cache_enabled_by_env() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    def make_key(self, baseline: str, config: SessionConfig,
+                 trace: BandwidthTrace, category: str = "gaming",
+                 extra: Optional[dict] = None) -> str:
+        """Content hash identifying one workload under the current code."""
+        payload = {
+            "baseline": baseline,
+            "config": asdict(config),
+            "trace": trace_fingerprint(trace),
+            "category": category,
+            # Build overrides (cc_override, ace_n_config, ...) are small
+            # config objects/strings; repr() is stable for them.
+            "extra": sorted((k, repr(v)) for k, v in (extra or {}).items()),
+            "code": code_version(),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[SessionMetrics]:
+        """Load a cached result, or None (counts a hit or a miss).
+
+        ``bandwidth_fn`` is not persisted; the caller reattaches the
+        trace's ``rate_at`` (the parallel runner does this).
+        """
+        if self.enabled:
+            path = self._path_for(key)
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                pass
+            else:
+                self.hits += 1
+                return metrics_from_dict(payload)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, metrics: SessionMetrics) -> None:
+        """Persist a result atomically (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(metrics_to_dict(metrics))
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    # reporting / maintenance
+    # ------------------------------------------------------------------
+    def counters(self) -> str:
+        """One-line summary for bench output."""
+        state = "on" if self.enabled else "off"
+        return (f"cache[{state}] hits={self.hits} misses={self.misses} "
+                f"stores={self.stores}")
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -14,7 +14,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional
 
-from repro.rtc.metrics import SessionMetrics
+from repro.rtc.metrics import FrameMetrics, SessionMetrics
 
 
 @dataclass
@@ -78,6 +78,61 @@ class RunResult:
             if v is None and k not in ("extra",):
                 clean[k] = float("nan")
         return cls(**clean)
+
+
+# ----------------------------------------------------------------------
+# full SessionMetrics round-trip (used by the on-disk result cache)
+# ----------------------------------------------------------------------
+
+#: FrameMetrics fields in construction order (positional round-trip).
+_FRAME_FIELDS = (
+    "frame_id", "capture_time", "size_bytes", "quality_vmaf",
+    "complexity_level", "encode_time", "satd", "planned_bytes",
+    "pacer_enqueue", "pacer_last_exit", "complete_at", "displayed_at",
+    "had_retransmission",
+)
+
+
+def metrics_to_dict(metrics: SessionMetrics) -> dict:
+    """Serialize a full :class:`SessionMetrics` to JSON-safe primitives.
+
+    ``bandwidth_fn`` is deliberately excluded — it is a live callable
+    owned by the trace; callers reattach it after
+    :func:`metrics_from_dict` (the cache layer does this).
+    """
+    return {
+        "duration": metrics.duration,
+        "packets_sent": metrics.packets_sent,
+        "packets_lost": metrics.packets_lost,
+        "packets_retransmitted": metrics.packets_retransmitted,
+        "frames": [[getattr(f, name) for name in _FRAME_FIELDS]
+                   for f in metrics.frames],
+        "send_events": [list(ev) for ev in metrics.send_events],
+        "bwe_history": [list(ev) for ev in metrics.bwe_history],
+    }
+
+
+def metrics_from_dict(d: dict) -> SessionMetrics:
+    """Inverse of :func:`metrics_to_dict` (``bandwidth_fn`` stays None)."""
+    metrics = SessionMetrics(
+        duration=d["duration"],
+        packets_sent=d["packets_sent"],
+        packets_lost=d["packets_lost"],
+        packets_retransmitted=d["packets_retransmitted"],
+    )
+    metrics.frames = [FrameMetrics(*row) for row in d["frames"]]
+    metrics.send_events = [(t, size) for t, size in d["send_events"]]
+    metrics.bwe_history = [(t, bwe) for t, bwe in d["bwe_history"]]
+    return metrics
+
+
+def canonical_metrics_json(metrics: SessionMetrics) -> str:
+    """Stable JSON encoding of a session's full results.
+
+    Byte-for-byte equality of this string is the determinism contract
+    the parallel runner is tested against (serial == parallel == cached).
+    """
+    return json.dumps(metrics_to_dict(metrics), sort_keys=True)
 
 
 def save_results(results: Iterable[RunResult], path: str | Path) -> None:

@@ -6,6 +6,12 @@ same rows/series the paper reports (see EXPERIMENTS.md for the
 paper-vs-measured record).
 """
 
+from repro.bench.parallel import (
+    GridTask,
+    ParallelRunner,
+    make_grid,
+    run_grid,
+)
 from repro.bench.workloads import (
     STANDARD_DURATION,
     bench_traces,
@@ -16,6 +22,10 @@ from repro.bench.tables import fmt_ms, fmt_pct, print_series, print_table
 
 __all__ = [
     "STANDARD_DURATION",
+    "GridTask",
+    "ParallelRunner",
+    "make_grid",
+    "run_grid",
     "bench_traces",
     "run_baseline",
     "run_baselines",

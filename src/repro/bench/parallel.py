@@ -1,0 +1,211 @@
+"""Parallel experiment runner: fan session grids across worker processes.
+
+Experiment sweeps are embarrassingly parallel — every (baseline, trace,
+seed, category) cell is an independent deterministic simulation — but
+the bench suite historically ran them one after another on one core.
+This module fans a grid of :class:`GridTask` cells across a
+``ProcessPoolExecutor`` and merges the results back in task order.
+
+Determinism contract: each task carries its own seed and builds its own
+session, so a worker computes *exactly* the float sequence the serial
+path computes — parallel results are byte-identical to ``jobs=1``
+(tested via :func:`~repro.analysis.results.canonical_metrics_json`).
+
+The runner composes with the on-disk result cache
+(:class:`~repro.analysis.cache.ResultCache`): cached cells are answered
+without spawning a worker, and fresh results are stored for the next
+sweep. ``REPRO_CACHE=off`` disables that layer entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.cache import ResultCache
+from repro.net.trace import BandwidthTrace
+from repro.rtc.baselines import build_session
+from repro.rtc.metrics import SessionMetrics
+from repro.rtc.session import SessionConfig
+
+#: default per-session simulated duration (matches bench workloads).
+DEFAULT_DURATION = 25.0
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count: ``None``/``0`` means one per CPU, else ``jobs``."""
+    if not jobs:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass
+class GridTask:
+    """One cell of an experiment grid: a single session to run.
+
+    Either set the scalar knobs (``seed``/``duration``/``fps``/
+    ``initial_bwe_bps``) and let the task build its own
+    :class:`SessionConfig` — matching ``run_baseline``'s defaults — or
+    pass a full ``config`` to control every field (RTT sweeps, loss
+    injection, ...). ``build_kwargs`` forwards overrides to
+    :func:`build_session` (``cc_override``, ``ace_n_config``, ...).
+    """
+
+    baseline: str
+    trace: BandwidthTrace
+    seed: int = 3
+    duration: float = DEFAULT_DURATION
+    category: str = "gaming"
+    fps: float = 30.0
+    initial_bwe_bps: float = 6_000_000.0
+    config: Optional[SessionConfig] = None
+    build_kwargs: dict = field(default_factory=dict)
+
+    def session_config(self) -> SessionConfig:
+        if self.config is not None:
+            return self.config
+        return SessionConfig(duration=self.duration, seed=self.seed,
+                             fps=self.fps,
+                             initial_bwe_bps=self.initial_bwe_bps)
+
+    def key(self) -> tuple:
+        """Grid coordinates: (baseline, trace name, seed, category)."""
+        cfg = self.session_config()
+        return (self.baseline, self.trace.name, cfg.seed, self.category)
+
+
+def _run_task(task: GridTask) -> SessionMetrics:
+    """Worker entry point: run one cell and return picklable metrics.
+
+    ``bandwidth_fn`` (a live bound method of the trace) is stripped
+    before crossing the process boundary; the parent reattaches its own
+    trace's ``rate_at`` so results look identical to an in-process run.
+    """
+    session = build_session(task.baseline, task.trace,
+                            task.session_config(),
+                            category=task.category, **task.build_kwargs)
+    metrics = session.run()
+    metrics.bandwidth_fn = None
+    return metrics
+
+
+class ParallelRunner:
+    """Run grid tasks across processes, short-circuiting through a cache.
+
+    ``jobs=1`` executes inline (no executor, no pickling) — the code
+    path benches and tests compare the parallel path against.
+    ``jobs=None``/``0`` means one worker per CPU. ``cache=None`` runs
+    everything fresh.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        #: counters for the lifetime of this runner (benches print them).
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def run(self, tasks: Iterable[GridTask]) -> list[SessionMetrics]:
+        """Execute ``tasks``; results come back in task order."""
+        tasks = list(tasks)
+        results: list[Optional[SessionMetrics]] = [None] * len(tasks)
+        keys: list[Optional[str]] = [None] * len(tasks)
+        todo: list[int] = []
+
+        cache = self.cache
+        if cache is not None:
+            for i, task in enumerate(tasks):
+                key = cache.make_key(task.baseline, task.session_config(),
+                                     task.trace, task.category,
+                                     task.build_kwargs)
+                keys[i] = key
+                cached = cache.get(key)
+                if cached is not None:
+                    cached.bandwidth_fn = task.trace.rate_at
+                    results[i] = cached
+                    self.cache_hits += 1
+                else:
+                    todo.append(i)
+                    self.cache_misses += 1
+        else:
+            todo = list(range(len(tasks)))
+
+        if todo:
+            pending = [tasks[i] for i in todo]
+            if self.jobs <= 1 or len(pending) <= 1:
+                fresh = [_run_task(task) for task in pending]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(pool.map(_run_task, pending))
+            for i, metrics in zip(todo, fresh):
+                metrics.bandwidth_fn = tasks[i].trace.rate_at
+                if cache is not None and keys[i] is not None:
+                    cache.put(keys[i], metrics)
+                results[i] = metrics
+        return results  # type: ignore[return-value]
+
+    def counters(self) -> str:
+        """One-line cache summary for bench output."""
+        if self.cache is None:
+            return "cache[none]"
+        return self.cache.counters()
+
+
+def make_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
+              seeds: Sequence[int] = (3,),
+              categories: Sequence[str] = ("gaming",),
+              duration: float = DEFAULT_DURATION, fps: float = 30.0,
+              initial_bwe_bps: float = 6_000_000.0,
+              build_kwargs: Optional[dict] = None) -> list[GridTask]:
+    """Cartesian product of the grid axes, in deterministic order."""
+    return [
+        GridTask(baseline=baseline, trace=trace, seed=seed,
+                 duration=duration, category=category, fps=fps,
+                 initial_bwe_bps=initial_bwe_bps,
+                 build_kwargs=dict(build_kwargs or {}))
+        for baseline, trace, seed, category
+        in product(baselines, traces, seeds, categories)
+    ]
+
+
+def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
+             seeds: Sequence[int] = (3,),
+             categories: Sequence[str] = ("gaming",),
+             duration: float = DEFAULT_DURATION, fps: float = 30.0,
+             initial_bwe_bps: float = 6_000_000.0,
+             jobs: Optional[int] = 1, cache: Optional[ResultCache] = None,
+             use_cache: bool = False,
+             build_kwargs: Optional[dict] = None,
+             runner: Optional[ParallelRunner] = None,
+             ) -> dict[tuple, SessionMetrics]:
+    """Run a (baseline x trace x seed x category) grid.
+
+    Returns ``{(baseline, trace.name, seed, category): SessionMetrics}``
+    — trace names must therefore be unique within ``traces``. Pass
+    ``jobs=N`` to fan across N processes (``None``/``0`` = per-CPU),
+    ``use_cache=True`` (or an explicit ``cache``) to memoize results on
+    disk, and ``runner=`` to reuse a runner and accumulate its counters
+    across calls.
+    """
+    tasks = make_grid(baselines, traces, seeds=seeds, categories=categories,
+                      duration=duration, fps=fps,
+                      initial_bwe_bps=initial_bwe_bps,
+                      build_kwargs=build_kwargs)
+    if runner is None:
+        if cache is None and use_cache:
+            cache = ResultCache()
+        runner = ParallelRunner(jobs=jobs, cache=cache)
+    metrics = runner.run(tasks)
+    out: dict[tuple, SessionMetrics] = {}
+    for task, m in zip(tasks, metrics):
+        key = task.key()
+        if key in out:
+            raise ValueError(f"duplicate grid cell {key!r} "
+                             "(trace names must be unique)")
+        out[key] = m
+    return out

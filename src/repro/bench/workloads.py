@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.bench.parallel import run_grid
 from repro.net.trace import BandwidthTrace, TraceLibrary
 from repro.rtc.baselines import build_session
 from repro.rtc.metrics import SessionMetrics
@@ -18,14 +19,17 @@ from repro.rtc.session import RtcSession, SessionConfig
 #: default per-session simulated duration for benches (seconds).
 STANDARD_DURATION = 25.0
 
-#: shared trace corpus (one library per seed, cached).
-_LIBRARIES: dict[int, TraceLibrary] = {}
+#: shared trace corpus, cached per (seed, duration) — keying by seed
+#: alone would hand back a library of the wrong length when two callers
+#: ask for the same seed with different durations.
+_LIBRARIES: dict[tuple[int, float], TraceLibrary] = {}
 
 
 def trace_library(seed: int = 1, duration: float = 120.0) -> TraceLibrary:
-    if seed not in _LIBRARIES:
-        _LIBRARIES[seed] = TraceLibrary(seed=seed, duration=duration)
-    return _LIBRARIES[seed]
+    key = (seed, duration)
+    if key not in _LIBRARIES:
+        _LIBRARIES[key] = TraceLibrary(seed=seed, duration=duration)
+    return _LIBRARIES[key]
 
 
 def bench_traces(classes: tuple[str, ...] = ("wifi", "4g", "5g"),
@@ -56,11 +60,20 @@ def run_baseline(name: str, trace: BandwidthTrace,
 
 def run_baselines(names: list[str], trace: BandwidthTrace,
                   duration: float = STANDARD_DURATION, seed: int = 3,
-                  category: str = "gaming", **kwargs) -> dict[str, SessionMetrics]:
-    """Run several baselines over the same trace/seed (same workload)."""
-    return {name: run_baseline(name, trace, duration=duration, seed=seed,
-                               category=category, **kwargs)
-            for name in names}
+                  category: str = "gaming", fps: float = 30.0,
+                  jobs: Optional[int] = 1, use_cache: bool = False,
+                  **kwargs) -> dict[str, SessionMetrics]:
+    """Run several baselines over the same trace/seed (same workload).
+
+    Routed through :func:`repro.bench.parallel.run_grid`: pass ``jobs=N``
+    to fan the baselines across worker processes (results are identical
+    to serial) and ``use_cache=True`` to memoize on disk. Remaining
+    ``kwargs`` forward to ``build_session`` as before.
+    """
+    grid = run_grid(list(names), [trace], seeds=(seed,),
+                    categories=(category,), duration=duration, fps=fps,
+                    jobs=jobs, use_cache=use_cache, build_kwargs=kwargs)
+    return {name: grid[(name, trace.name, seed, category)] for name in names}
 
 
 def once(benchmark, fn):

@@ -14,6 +14,8 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.analysis.cache import ResultCache
+from repro.bench.parallel import GridTask, ParallelRunner
 from repro.bench.tables import fmt_ms, fmt_pct, print_table
 from repro.net.trace import (
     BandwidthTrace,
@@ -63,6 +65,28 @@ def run_one(baseline: str, args: argparse.Namespace):
     return session.run()
 
 
+def make_task(baseline: str, args: argparse.Namespace,
+              trace: Optional[BandwidthTrace] = None,
+              rtt_ms: Optional[float] = None) -> GridTask:
+    """One grid cell from CLI arguments (same workload as :func:`run_one`)."""
+    if trace is None:
+        trace = make_trace(args.trace, args.seed, args.duration + 10)
+    rtt = (rtt_ms if rtt_ms is not None else args.rtt) / 1000.0
+    config = SessionConfig(
+        duration=args.duration, seed=args.seed, fps=args.fps,
+        base_rtt=rtt, initial_bwe_bps=args.initial_bwe * 1e6,
+    )
+    return GridTask(baseline=baseline, trace=trace, category=args.category,
+                    config=config,
+                    build_kwargs={"cc_override": args.cc,
+                                  "codec_override": args.codec})
+
+
+def make_runner(args: argparse.Namespace) -> ParallelRunner:
+    cache = ResultCache() if getattr(args, "cache", False) else None
+    return ParallelRunner(jobs=args.jobs, cache=cache)
+
+
 def metrics_row(name: str, m) -> list[str]:
     return [
         name,
@@ -89,7 +113,10 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    metrics = run_one(args.baseline, args)
+    runner = make_runner(args)
+    [metrics] = runner.run([make_task(args.baseline, args)])
+    if runner.cache is not None:
+        print(runner.counters())
     print_table(f"{args.baseline} over {args.trace} "
                 f"({args.duration:.0f}s, {args.category})",
                 HEADERS, [metrics_row(args.baseline, metrics)])
@@ -101,22 +128,29 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    rows = []
-    for baseline in args.baselines.split(","):
-        baseline = baseline.strip()
-        metrics = run_one(baseline, args)
-        rows.append(metrics_row(baseline, metrics))
+    baselines = [b.strip() for b in args.baselines.split(",")]
+    trace = make_trace(args.trace, args.seed, args.duration + 10)
+    runner = make_runner(args)
+    results = runner.run([make_task(b, args, trace=trace) for b in baselines])
+    rows = [metrics_row(baseline, metrics)
+            for baseline, metrics in zip(baselines, results)]
+    if runner.cache is not None:
+        print(runner.counters())
     print_table(f"comparison over {args.trace} "
                 f"({args.duration:.0f}s, {args.category})", HEADERS, rows)
     return 0
 
 
 def cmd_sweep_rtt(args: argparse.Namespace) -> int:
-    rows = []
-    for rtt_ms in (float(x) for x in args.rtts.split(",")):
-        args.rtt = rtt_ms
-        metrics = run_one(args.baseline, args)
-        rows.append([f"{rtt_ms:g}"] + metrics_row(args.baseline, metrics)[1:])
+    rtts = [float(x) for x in args.rtts.split(",")]
+    trace = make_trace(args.trace, args.seed, args.duration + 10)
+    runner = make_runner(args)
+    results = runner.run([make_task(args.baseline, args, trace=trace,
+                                    rtt_ms=rtt_ms) for rtt_ms in rtts])
+    rows = [[f"{rtt_ms:g}"] + metrics_row(args.baseline, metrics)[1:]
+            for rtt_ms, metrics in zip(rtts, results)]
+    if runner.cache is not None:
+        print(runner.counters())
     print_table(f"{args.baseline}: RTT sweep over {args.trace}",
                 ["RTT ms"] + HEADERS[1:], rows)
     return 0
@@ -178,6 +212,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="override congestion controller (gcc|bbr|copa|delivery)")
     p.add_argument("--codec", default=None,
                    help="override codec model (x264|x265|vp8|vp9|av1)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for multi-session commands "
+                        "(0 = one per CPU); results are identical to serial")
+    p.add_argument("--cache", action="store_true",
+                   help="memoize session results on disk "
+                        "(REPRO_CACHE=off disables, REPRO_CACHE_DIR moves)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -52,15 +52,21 @@ class QueueEstimator:
     def on_feedback(self, message: FeedbackMessage, now: float,
                     reverse_delay: float = 0.0) -> None:
         """Feed a transport feedback batch (reports in arrival order)."""
-        for report in sorted(message.reports, key=lambda r: r.arrival_time):
-            rtt = report.one_way_delay + reverse_delay
+        # The receiver appends reports as packets arrive, so the batch is
+        # already sorted by arrival time — no re-sort needed.
+        rtt_min = self._rtt_min
+        recent = self._recent_rtts
+        pp_on_packet = self.packet_pair.on_packet
+        for report in message.reports:
+            arrival = report.arrival_time
+            rtt = arrival - report.send_time + reverse_delay
             if rtt <= 0:
                 continue
-            if self._rtt_min is None or rtt < self._rtt_min:
-                self._rtt_min = rtt
-            self._recent_rtts.append((report.arrival_time, rtt))
-            self.packet_pair.on_packet(report.send_time, report.arrival_time,
-                                       report.size_bytes)
+            if rtt_min is None or rtt < rtt_min:
+                rtt_min = rtt
+            recent.append((arrival, rtt))
+            pp_on_packet(report.send_time, arrival, report.size_bytes)
+        self._rtt_min = rtt_min
         horizon = now - self.standing_window_s
         while self._recent_rtts and self._recent_rtts[0][0] < horizon:
             self._recent_rtts.popleft()
@@ -93,11 +99,12 @@ class QueueEstimator:
     def queue_bytes(self, now: float) -> float:
         """Estimated in-network queue size in bytes (records history)."""
         delay = self.queue_delay()
-        capacity = self.capacity_bps()
+        cap_raw = self.packet_pair.capacity_bps()
+        capacity = cap_raw if cap_raw is not None else self.default_capacity_bps
         queue = delay * capacity / 8.0
         self.estimates.append(QueueEstimate(
             time=now, queue_bytes=queue, queue_delay=delay,
-            capacity_bps=self.packet_pair.capacity_bps(),
+            capacity_bps=cap_raw,
             rtt_standing=self.rtt_standing(), rtt_min=self._rtt_min,
         ))
         return queue

@@ -20,7 +20,15 @@ EPSILON_BYTES = 1e-6
 
 
 class TokenBucket:
-    """Byte-denominated token bucket with lazy refill."""
+    """Byte-denominated token bucket with lazy refill.
+
+    The refill arithmetic is inlined into :meth:`consume` and
+    :meth:`time_until_available` (the per-packet hot path) — keep any
+    change to the formula mirrored across all copies, bit-for-bit, or
+    fixed-seed sessions stop being reproducible.
+    """
+
+    __slots__ = ("_rate_bps", "_bucket_bytes", "_tokens", "_last_refill")
 
     def __init__(self, rate_bps: float, bucket_bytes: float,
                  initial_fill: float | None = None, now: float = 0.0) -> None:
@@ -71,13 +79,26 @@ class TokenBucket:
         return self._tokens
 
     def can_send(self, size_bytes: float, now: float) -> bool:
-        return self.tokens(now) >= size_bytes - EPSILON_BYTES
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            filled = self._tokens + elapsed * self._rate_bps / 8.0
+            cap = self._bucket_bytes
+            self._tokens = cap if filled > cap else filled
+            self._last_refill = now
+        return self._tokens >= size_bytes - EPSILON_BYTES
 
     def consume(self, size_bytes: float, now: float) -> bool:
         """Take ``size_bytes`` tokens if available; returns success."""
-        if not self.can_send(size_bytes, now):
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            filled = self._tokens + elapsed * self._rate_bps / 8.0
+            cap = self._bucket_bytes
+            self._tokens = cap if filled > cap else filled
+            self._last_refill = now
+        if self._tokens < size_bytes - EPSILON_BYTES:
             return False
-        self._tokens = max(0.0, self._tokens - size_bytes)
+        left = self._tokens - size_bytes
+        self._tokens = left if left > 0.0 else 0.0
         return True
 
     def time_until_available(self, size_bytes: float, now: float) -> float:
@@ -87,8 +108,14 @@ class TokenBucket:
         than the bucket waits until the bucket is full (callers should
         size buckets above the MTU).
         """
-        available = self.tokens(now)
-        needed = min(size_bytes, self._bucket_bytes) - available
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            filled = self._tokens + elapsed * self._rate_bps / 8.0
+            cap = self._bucket_bytes
+            self._tokens = cap if filled > cap else filled
+            self._last_refill = now
+        demand = size_bytes if size_bytes < self._bucket_bytes else self._bucket_bytes
+        needed = demand - self._tokens
         if needed <= EPSILON_BYTES:
             return 0.0
         return needed * 8.0 / self._rate_bps

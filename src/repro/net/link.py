@@ -102,6 +102,9 @@ class Link:
         self.stats = LinkStats()
         self._busy = False
         self._service_started_at = 0.0
+        # Hot-path bound-method caches (one lookup per packet otherwise).
+        self._rate_at = trace.rate_at
+        self._occupancy = self.stats.occupancy_samples
 
     @property
     def rate_now(self) -> float:
@@ -118,39 +121,48 @@ class Link:
 
     def send(self, packet: Packet) -> bool:
         """Offer ``packet`` to the link; returns False if tail-dropped."""
-        packet.t_enter_queue = self.loop.now
-        if not self.queue.try_push(packet):
+        now = self.loop.now
+        packet.t_enter_queue = now
+        stats = self.stats
+        size = packet.size_bytes
+        queue = self.queue
+        queued = queue._bytes + size
+        if queued > queue.capacity_bytes:     # try_push inlined (hot path)
             packet.dropped = True
-            self.stats.dropped_packets += 1
-            self.stats.dropped_bytes += packet.size_bytes
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
             if self.on_drop is not None:
                 self.on_drop(packet)
             return False
-        self.stats.enqueued_packets += 1
-        self.stats.enqueued_bytes += packet.size_bytes
-        self._sample_occupancy()
+        queue._queue.append(packet)
+        queue._bytes = queued
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
+        self._occupancy.append((now, queued))
         if not self._busy:
             self._start_service()
         return True
 
     def _sample_occupancy(self) -> None:
-        self.stats.occupancy_samples.append((self.loop.now, self.queue.bytes_queued))
+        self._occupancy.append((self.loop.now, self.queue.bytes_queued))
 
     def _start_service(self) -> None:
-        packet = self.queue.peek()
+        queue = self.queue
+        packet = queue._queue[0] if queue._queue else None
         if packet is None:
             self._busy = False
             return
-        rate = self.rate_now
+        now = self.loop.now
+        rate = self._rate_at(now)
         if rate <= 0:
             # Outage: retry when the next trace sample may have capacity.
             self._busy = True
             self.loop.call_later(0.05, self._retry_service, name="link.outage-retry")
             return
         self._busy = True
-        self._service_started_at = self.loop.now
+        self._service_started_at = now
         serialization = packet.size_bytes * 8 / rate
-        self.loop.call_later(serialization, self._finish_service, name="link.serve")
+        self.loop.call_later(serialization, self._finish_service, "link.serve")
 
     def _retry_service(self) -> None:
         self._busy = False
@@ -158,16 +170,18 @@ class Link:
             self._start_service()
 
     def _finish_service(self) -> None:
-        packet = self.queue.pop()
+        queue = self.queue
+        packet = queue.pop()
         now = self.loop.now
         packet.t_leave_queue = now
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bytes += packet.size_bytes
-        self.stats.busy_time += now - self._service_started_at
-        self._sample_occupancy()
+        stats = self.stats
+        stats.delivered_packets += 1
+        stats.delivered_bytes += packet.size_bytes
+        stats.busy_time += now - self._service_started_at
+        self._occupancy.append((now, queue._bytes))
         if self.on_deliver is not None:
             self.on_deliver(packet)
-        if self.queue.peek() is not None:
+        if queue._queue:
             self._start_service()
         else:
             self._busy = False

@@ -15,24 +15,18 @@ applies a robust filter (windowed median) over the implied capacities.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, Optional
-
-import numpy as np
 
 #: Pairs must be sent within this gap to count as back-to-back.
 BACK_TO_BACK_GAP_S = 0.0005
 
 
-@dataclass
-class _PacketObs:
-    send_time: float
-    arrival_time: float
-    size_bytes: int
-
-
 class PacketPairEstimator:
-    """Windowed-median PacketPair capacity estimator."""
+    """Windowed-median PacketPair capacity estimator.
+
+    The previous observation is kept as two plain floats instead of an
+    allocated record — ``on_packet`` runs once per received packet.
+    """
 
     def __init__(self, window: int = 50, min_samples: int = 3,
                  back_to_back_gap: float = BACK_TO_BACK_GAP_S) -> None:
@@ -41,25 +35,26 @@ class PacketPairEstimator:
         self.window = window
         self.min_samples = min_samples
         self.back_to_back_gap = back_to_back_gap
-        self._last: Optional[_PacketObs] = None
+        self._last_send: Optional[float] = None
+        self._last_arrival = 0.0
         self._samples: Deque[float] = deque(maxlen=window)
 
     def on_packet(self, send_time: float, arrival_time: float,
                   size_bytes: int) -> None:
         """Feed one (send, arrival, size) observation, in arrival order."""
-        obs = _PacketObs(send_time, arrival_time, size_bytes)
-        last = self._last
-        self._last = obs
-        if last is None:
+        last_send = self._last_send
+        last_arrival = self._last_arrival
+        self._last_send = send_time
+        self._last_arrival = arrival_time
+        if last_send is None:
             return
-        send_gap = obs.send_time - last.send_time
-        arrival_gap = obs.arrival_time - last.arrival_time
+        send_gap = send_time - last_send
+        arrival_gap = arrival_time - last_arrival
         if send_gap < 0 or arrival_gap <= 0:
             return  # reordered or simultaneous; unusable
         if send_gap > self.back_to_back_gap:
             return  # not a back-to-back pair
-        capacity = obs.size_bytes * 8 / arrival_gap
-        self._samples.append(capacity)
+        self._samples.append(size_bytes * 8 / arrival_gap)
 
     @property
     def sample_count(self) -> int:
@@ -67,10 +62,18 @@ class PacketPairEstimator:
 
     def capacity_bps(self) -> Optional[float]:
         """Current capacity estimate, or None before ``min_samples`` pairs."""
-        if len(self._samples) < self.min_samples:
+        n = len(self._samples)
+        if n < self.min_samples:
             return None
-        return float(np.median(self._samples))
+        # Inline median over the (small) window: called on every feedback
+        # batch, where np.median's array conversion dominates. Matches
+        # np.median bit-for-bit (middle element, or mean of the two).
+        ordered = sorted(self._samples)
+        mid = n >> 1
+        if n & 1:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
 
     def reset(self) -> None:
-        self._last = None
+        self._last_send = None
         self._samples.clear()

@@ -10,6 +10,7 @@ loss can be injected for robustness tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Optional
 
 from repro.net.link import DEFAULT_QUEUE_CAPACITY_BYTES, Link
@@ -79,13 +80,23 @@ class NetworkPath:
         self.lost_packets: list[Packet] = []
         self._last_send_time: Optional[float] = None
         self._train_length = 0
+        # Hot-path precomputation: PathConfig is immutable for the life
+        # of a session, so the per-packet lookups are hoisted here.
+        cfg = self.config
+        self._half_hop = cfg.one_way_delay / 2
+        self._one_way = cfg.one_way_delay
+        self._lossy = (self.rng is not None
+                       and (cfg.random_loss_rate > 0
+                            or cfg.contention_loss_rate > 0))
+        self._jitter_enabled = cfg.delay_jitter_std > 0 and self.rng is not None
+        self._jitter_std = cfg.delay_jitter_std
 
     # ------------------------------------------------------------------
     # forward direction (sender -> receiver)
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Inject a packet at the sender's NIC."""
-        if self._random_loss() or self._contention_loss():
+        if self._lossy and (self._random_loss() or self._contention_loss()):
             packet.dropped = True
             self.lost_packets.append(packet)
             if self.on_drop is not None:
@@ -94,10 +105,7 @@ class NetworkPath:
         # Propagate to the bottleneck (half the one-way budget), then
         # serialize, then propagate the rest of the way.
         self.loop.call_later(
-            self.config.one_way_delay / 2,
-            lambda p=packet: self.link.send(p),
-            name="path.to-bottleneck",
-        )
+            self._half_hop, partial(self.link.send, packet), "path.to-bottleneck")
 
     def _random_loss(self) -> bool:
         rate = self.config.random_loss_rate
@@ -119,14 +127,10 @@ class NetworkPath:
         return self.rng.random() < cfg.contention_loss_rate * ramp
 
     def _delivered_by_link(self, packet: Packet) -> None:
-        delay = self.config.one_way_delay / 2
-        if self.config.delay_jitter_std > 0 and self.rng is not None:
-            delay += abs(self.rng.normal(0.0, self.config.delay_jitter_std))
-        self.loop.call_later(
-            delay,
-            lambda p=packet: self._arrive(p),
-            name="path.to-receiver",
-        )
+        delay = self._half_hop
+        if self._jitter_enabled:
+            delay += abs(self.rng.normal(0.0, self._jitter_std))
+        self.loop.call_later(delay, partial(self._arrive, packet), "path.to-receiver")
 
     def _arrive(self, packet: Packet) -> None:
         packet.t_arrival = self.loop.now
@@ -144,10 +148,7 @@ class NetworkPath:
     def send_feedback(self, message: object) -> None:
         """Deliver a feedback message to the sender after propagation."""
         self.loop.call_later(
-            self.config.one_way_delay,
-            lambda m=message: self._feedback_arrives(m),
-            name="path.feedback",
-        )
+            self._one_way, partial(self._feedback_arrives, message), "path.feedback")
 
     def _feedback_arrives(self, message: object) -> None:
         if self.on_feedback is not None:

@@ -56,6 +56,14 @@ class BandwidthTrace:
         self._ts = np.asarray(self.timestamps, dtype=float)
         self._rates = np.asarray(self.rates_bps, dtype=float)
         self._ts_list = [float(x) for x in self._ts]
+        self._rates_list = [float(r) for r in self._rates]
+        #: monotonic lookup cursor: simulation time only moves forward,
+        #: so consecutive rate_at() calls resolve in O(1) from here.
+        self._cursor = 0
+        #: flat traces answer every lookup with the same value; skip the
+        #: cursor machinery entirely for them (constant-rate benches).
+        rates = self._rates_list
+        self._flat_rate = rates[0] if all(r == rates[0] for r in rates) else None
         if len(self._ts) == 1:
             self._duration = TRACE_INTERVAL_S
         else:
@@ -69,14 +77,32 @@ class BandwidthTrace:
         return self._duration
 
     def rate_at(self, t: float) -> float:
-        """Available bandwidth (bps) at simulation time ``t`` (loops)."""
+        """Available bandwidth (bps) at simulation time ``t`` (loops).
+
+        Fast path: a monotonic cursor. The simulator queries with
+        non-decreasing ``t``, so the target sample is almost always the
+        cursor's or the next one; backward jumps (a trace-loop wraparound
+        or an out-of-order analysis query) fall back to bisect.
+        """
+        flat = self._flat_rate
+        if flat is not None:
+            return flat
         if t < 0:
             t = 0.0
         span = self._duration
-        local = self._ts_list[0] + math.fmod(t, span) if span > 0 else self._ts_list[0]
-        idx = bisect.bisect_right(self._ts_list, local) - 1
-        idx = max(idx, 0)
-        return float(self._rates[idx])
+        ts = self._ts_list
+        local = ts[0] + math.fmod(t, span) if span > 0 else ts[0]
+        i = self._cursor
+        if ts[i] <= local:
+            n = len(ts) - 1
+            while i < n and ts[i + 1] <= local:
+                i += 1
+        else:
+            i = bisect.bisect_right(ts, local) - 1
+            if i < 0:
+                i = 0
+        self._cursor = i
+        return self._rates_list[i]
 
     def mean_rate(self) -> float:
         return float(np.mean(self._rates))

@@ -291,14 +291,15 @@ class Sender:
     # transmission
     # ------------------------------------------------------------------
     def _packet_leaves_pacer(self, packet: Packet) -> None:
-        self.send_events.append((self.loop.now, packet.size_bytes))
+        now = self.loop.now
+        self.send_events.append((now, packet.size_bytes))
         if packet.retransmission_of is None:
             # Pacing latency tracks fresh media only; retransmissions
             # leaving later must not rewrite the frame's pacer-exit time
             # (their cost shows up in the network/retransmit component).
             metrics = self.frame_metrics.get(packet.frame_id)
             if metrics is not None:
-                metrics.pacer_last_exit = self.loop.now
+                metrics.pacer_last_exit = now
         self._orig_send_fn(packet)
 
     # ------------------------------------------------------------------
@@ -309,8 +310,9 @@ class Sender:
         reverse = self.path.config.one_way_delay
         if hasattr(self.cc, "observe_reverse_delay"):
             self.cc.observe_reverse_delay(reverse)
+        observe_rtt = self.cc.observe_rtt
         for report in message.reports:
-            self.cc.observe_rtt(report.one_way_delay + reverse)
+            observe_rtt(report.arrival_time - report.send_time + reverse)
         self.cc.on_feedback(message, now)
         if self.fec is not None:
             self._reports_seen += len(message.reports)

@@ -145,16 +145,18 @@ class RtcSession:
     # path callbacks
     # ------------------------------------------------------------------
     def _on_arrival(self, packet: Packet) -> None:
-        if packet.ptype == PacketType.CROSS:
+        if packet.ptype is PacketType.CROSS:
             if self.cross_traffic is not None:
                 self.cross_traffic.on_delivered(packet)
             return
-        if self.audio_receiver.on_packet(packet):
+        # Only audio packets carry frame_id < 0; media skips the probe.
+        if packet.frame_id < 0 and self.audio_receiver.on_packet(packet):
             return
         self.receiver.on_packet(packet)
         # Any frames that just became displayable get their sender-side
         # metrics stamped here.
-        self._sync_display_times()
+        if self._display_sync_cursor < len(self.receiver.displayed):
+            self._sync_display_times()
 
     def _sync_display_times(self) -> None:
         # Only walk frames displayed since the previous sync (the

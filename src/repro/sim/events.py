@@ -4,14 +4,18 @@ All timing-sensitive behaviour in the reproduction (pacing, link
 serialization, feedback, encoder completion) is expressed as events on a
 single :class:`EventLoop`. Events fire in non-decreasing time order;
 ties break by insertion order, which keeps runs deterministic.
+
+Hot-path layout: the heap stores plain ``(time, seq, event)`` tuples so
+heap sifting compares C-level floats/ints instead of calling a Python
+``__lt__``; :class:`Event` is a slim ``__slots__`` handle that exists
+only so callers can cancel a scheduled callback. Cancellation is a flag
+checked at pop time — O(1), no heap surgery.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
 
@@ -19,24 +23,31 @@ class SimulationError(RuntimeError):
     """Raised on invalid use of the event loop (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle for a scheduled callback.
 
     Events are ordered by ``(time, seq)``; ``seq`` is a monotonically
     increasing insertion counter so that two events at the same time fire
     in the order they were scheduled.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "name", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None], name: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when popped."""
         self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, seq={self.seq}, name={self.name!r}{state})"
 
 
 class EventLoop:
@@ -47,18 +58,17 @@ class EventLoop:
         loop = EventLoop()
         loop.call_at(0.5, lambda: print("fired at t=0.5"))
         loop.run(until=1.0)
+
+    ``now`` is a plain attribute (reading it is on the hot path); treat
+    it as read-only outside this class.
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._now = start_time
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        #: current simulation time in seconds (read-only for callers).
+        self.now = start_time
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
         self._processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
 
     @property
     def pending(self) -> int:
@@ -77,29 +87,40 @@ class EventLoop:
         scheduling exactly at ``now`` is allowed and fires after events
         already queued for ``now``.
         """
-        if math.isnan(when):
-            raise SimulationError("cannot schedule an event at NaN time")
-        if when < self._now:
+        if not when >= self.now:        # single check catches past *and* NaN
+            if math.isnan(when):
+                raise SimulationError("cannot schedule an event at NaN time")
             raise SimulationError(
-                f"cannot schedule event {name!r} at {when:.9f} < now {self._now:.9f}"
+                f"cannot schedule event {name!r} at {when:.9f} < now {self.now:.9f}"
             )
-        event = Event(time=when, seq=next(self._counter), callback=callback, name=name)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, callback, name)
+        heappush(self._heap, (when, seq, event))
         return event
 
     def call_later(self, delay: float, callback: Callable[[], None], name: str = "") -> Event:
         """Schedule ``callback`` after ``delay`` seconds (delay >= 0)."""
-        if delay < 0:
+        if not delay >= 0:              # single check catches negative *and* NaN
             raise SimulationError(f"negative delay {delay} for event {name!r}")
-        return self.call_at(self._now + delay, callback, name=name)
+        # call_at inlined (this is the hottest scheduling entry point);
+        # now + delay with delay >= 0 can never be < now, so the
+        # past-check is unnecessary here.
+        when = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, callback, name)
+        heappush(self._heap, (when, seq, event))
+        return event
 
     def step(self) -> bool:
         """Execute the next non-cancelled event. Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            when, _seq, event = heappop(heap)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self.now = when
             self._processed += 1
             event.callback()
             return True
@@ -110,27 +131,85 @@ class EventLoop:
 
         ``until`` is inclusive: events scheduled exactly at ``until`` fire.
         When the loop stops because of ``until``, the clock is advanced to
-        ``until`` even if no event fired there.
+        ``until`` even if no event fired there. ``max_events`` counts
+        *executed callbacks* only — popping a cancelled event never burns
+        budget.
         """
+        if "step" in self.__dict__:
+            # step() has been instance-patched (e.g. by a Tracer); route
+            # every execution through it so the hook observes each event.
+            return self._run_via_step(until, max_events)
+        heap = self._heap
+        limit = math.inf if until is None else until
+        budget = math.inf if max_events is None else max_events
         executed = 0
-        while self._heap:
+        stopped_on_budget = False
+        try:
+            while heap:
+                if executed >= budget:
+                    stopped_on_budget = True
+                    break
+                entry = heappop(heap)
+                when = entry[0]
+                if when > limit:
+                    # Past the horizon: put it back for the next run().
+                    heappush(heap, entry)
+                    break
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                self.now = when
+                executed += 1
+                event.callback()
+        finally:
+            self._processed += executed
+        if stopped_on_budget:
+            return
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _run_via_step(self, until: Optional[float],
+                      max_events: Optional[int]) -> None:
+        """Slow path preserving the step()-per-event contract for hooks."""
+        heap = self._heap
+        executed = 0
+        while heap:
             if max_events is not None and executed >= max_events:
                 return
-            next_event = self._heap[0]
-            if next_event.cancelled:
-                heapq.heappop(self._heap)
+            entry = heap[0]
+            if entry[2].cancelled:
+                heappop(heap)
                 continue
-            if until is not None and next_event.time > until:
+            if until is not None and entry[0] > until:
                 break
-            self.step()
+            if not self.step():
+                break
             executed += 1
-        if until is not None and until > self._now:
-            self._now = until
+        if until is not None and until > self.now:
+            self.now = until
 
     def drain(self, max_events: int = 10_000_000) -> None:
         """Run until the queue is empty, with a runaway guard."""
+        if "step" in self.__dict__:
+            executed = 0
+            while self.step():
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted")
+            return
+        heap = self._heap
         executed = 0
-        while self.step():
-            executed += 1
-            if executed > max_events:
-                raise SimulationError(f"event budget of {max_events} exhausted")
+        try:
+            while heap:
+                when, _seq, event = heappop(heap)
+                if event.cancelled:
+                    continue
+                self.now = when
+                executed += 1
+                event.callback()
+                if executed > max_events:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted")
+        finally:
+            self._processed += executed

@@ -49,8 +49,9 @@ class Tracer:
         def traced_step() -> bool:
             heap = tracer.loop._heap
             # Peek the next non-cancelled event's name before executing.
+            # Heap entries are (time, seq, event) tuples.
             pending_name = ""
-            for event in heap:
+            for _when, _seq, event in heap:
                 if not event.cancelled:
                     pending_name = event.name
                     break

@@ -85,6 +85,11 @@ class AudioReceiver:
 
     def on_packet(self, packet: Packet) -> bool:
         """Returns True when the packet was an audio packet (consumed)."""
+        if packet.frame_id >= 0:
+            # Video/RTX/parity packets all carry a frame id; only audio
+            # uses -1. Rejecting here skips the getattr fallback (an
+            # AttributeError per packet on slotted Packets).
+            return False
         capture = getattr(packet, "audio_capture", None)
         if capture is None:
             return False

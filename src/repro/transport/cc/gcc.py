@@ -22,6 +22,7 @@ with ``time_windowed=True`` reproduces the ACE modification).
 from __future__ import annotations
 
 import math
+import operator
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
@@ -33,8 +34,11 @@ from repro.transport.feedback import FeedbackMessage, PacketReport
 #: uses a 5 ms burst window).
 GROUP_WINDOW_S = 0.005
 
+#: C-level sort key for the per-feedback report sort (hot path).
+_by_send_time = operator.attrgetter("send_time")
 
-@dataclass
+
+@dataclass(slots=True)
 class _PacketGroup:
     first_send: float
     last_send: float
@@ -43,8 +47,12 @@ class _PacketGroup:
     size_bytes: int
 
     def absorb(self, report: PacketReport) -> None:
-        self.last_send = max(self.last_send, report.send_time)
-        self.last_arrival = max(self.last_arrival, report.arrival_time)
+        send_time = report.send_time
+        if send_time > self.last_send:
+            self.last_send = send_time
+        arrival_time = report.arrival_time
+        if arrival_time > self.last_arrival:
+            self.last_arrival = arrival_time
         self.size_bytes += report.size_bytes
 
 
@@ -83,14 +91,23 @@ class TrendlineEstimator:
         n = len(self._samples)
         if n < 2:
             return None
-        xs = [s[0] for s in self._samples]
-        ys = [s[1] for s in self._samples]
-        mean_x = sum(xs) / n
-        mean_y = sum(ys) / n
-        var_x = sum((x - mean_x) ** 2 for x in xs)
+        # Single-object iteration; accumulation order matches the
+        # previous sum()-based version exactly (left to right).
+        sum_x = 0.0
+        sum_y = 0.0
+        for x, y in self._samples:
+            sum_x += x
+            sum_y += y
+        mean_x = sum_x / n
+        mean_y = sum_y / n
+        var_x = 0.0
+        cov = 0.0
+        for x, y in self._samples:
+            dx = x - mean_x
+            var_x += dx ** 2
+            cov += dx * (y - mean_y)
         if var_x <= 1e-12:
             return None
-        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
         return cov / var_x
 
 
@@ -217,7 +234,7 @@ class GccController(CongestionController):
     def _delay_signal(self, message: FeedbackMessage, now: float) -> Optional[str]:
         """Group packets and run the trendline/overuse machinery."""
         state: Optional[str] = None
-        for report in sorted(message.reports, key=lambda r: r.send_time):
+        for report in sorted(message.reports, key=_by_send_time):
             group_complete = self._feed_group(report)
             if group_complete is None:
                 continue

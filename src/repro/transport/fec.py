@@ -133,7 +133,8 @@ class FecDecoder:
 
     def on_media(self, seq: int) -> None:
         self._received.add(seq)
-        self._try_repairs()
+        if self._pending:
+            self._try_repairs()
 
     def on_parity(self, covers: Iterable[int]) -> None:
         self.stats.parity_received += 1

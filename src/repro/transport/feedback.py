@@ -18,19 +18,32 @@ from repro.net.packet import Packet
 DEFAULT_FEEDBACK_INTERVAL_S = 0.05
 
 
-@dataclass(frozen=True)
 class PacketReport:
-    """One received packet as seen by the receiver."""
+    """One received packet as seen by the receiver.
 
-    seq: int
-    send_time: float
-    arrival_time: float
-    size_bytes: int
-    frame_id: int = -1
+    A slotted plain class rather than a dataclass: one report is
+    allocated per received packet, which makes construction cost part of
+    the simulator's hot path. Treat instances as immutable.
+    """
+
+    __slots__ = ("seq", "send_time", "arrival_time", "size_bytes", "frame_id")
+
+    def __init__(self, seq: int, send_time: float, arrival_time: float,
+                 size_bytes: int, frame_id: int = -1) -> None:
+        self.seq = seq
+        self.send_time = send_time
+        self.arrival_time = arrival_time
+        self.size_bytes = size_bytes
+        self.frame_id = frame_id
 
     @property
     def one_way_delay(self) -> float:
         return self.arrival_time - self.send_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PacketReport(seq={self.seq}, send_time={self.send_time}, "
+                f"arrival_time={self.arrival_time}, "
+                f"size_bytes={self.size_bytes}, frame_id={self.frame_id})")
 
 
 @dataclass
@@ -71,42 +84,63 @@ class FeedbackBuilder:
         self._nack_counts: dict[int, int] = {}
         self._recovered: set[int] = set()
         self._cumulative_lost = 0
+        #: every seq below this is resolved (received, recovered, or
+        #: NACKed to exhaustion) — lets _missing_seqs skip re-scanning.
+        self._resolved_floor = 0
 
     def on_packet(self, packet: Packet) -> None:
         """Record an arriving media packet."""
-        report = PacketReport(
-            seq=packet.seq,
-            send_time=packet.t_leave_pacer if packet.t_leave_pacer is not None else 0.0,
-            arrival_time=packet.t_arrival if packet.t_arrival is not None else 0.0,
-            size_bytes=packet.size_bytes,
-            frame_id=packet.frame_id,
-        )
-        self._pending.append(report)
+        send_time = packet.t_leave_pacer
+        arrival_time = packet.t_arrival
+        self._pending.append(PacketReport(
+            packet.seq,
+            send_time if send_time is not None else 0.0,
+            arrival_time if arrival_time is not None else 0.0,
+            packet.size_bytes,
+            packet.frame_id,
+        ))
         if packet.retransmission_of is not None:
             self._recovered.add(packet.retransmission_of)
             self._nack_counts.pop(packet.retransmission_of, None)
             return
-        if packet.seq < 0:
+        seq = packet.seq
+        if seq < 0:
             return  # separate stream (e.g. FEC parity): no gap tracking
-        self._received_seqs.add(packet.seq)
-        self._highest_seq = max(self._highest_seq, packet.seq)
+        self._received_seqs.add(seq)
+        if seq > self._highest_seq:
+            self._highest_seq = seq
 
     def _missing_seqs(self) -> List[int]:
         """Sequence numbers presumed lost (beyond the reordering margin)."""
         if self._highest_seq < 0:
             return []
         horizon = self._highest_seq - self.reorder_margin
-        missing = []
         # Only scan a bounded window back from the horizon; older holes
-        # have either been NACKed to exhaustion or recovered.
+        # have either been NACKed to exhaustion or recovered. The scan
+        # starts at the resolved floor — everything below it has already
+        # been classified as resolved and can never become missing again.
         window_start = max(0, horizon - 2000)
-        for seq in range(window_start, horizon + 1):
-            if seq in self._received_seqs or seq in self._recovered:
+        floor = self._resolved_floor
+        if floor < window_start:
+            floor = window_start
+        missing = []
+        received = self._received_seqs
+        recovered = self._recovered
+        counts = self._nack_counts
+        max_nacks = self.max_nacks_per_seq
+        at_floor = True
+        for seq in range(floor, horizon + 1):
+            if seq in received or seq in recovered:
+                if at_floor:
+                    floor = seq + 1
                 continue
-            count = self._nack_counts.get(seq, 0)
-            if count >= self.max_nacks_per_seq:
+            if counts.get(seq, 0) >= max_nacks:
+                if at_floor:
+                    floor = seq + 1
                 continue
             missing.append(seq)
+            at_floor = False
+        self._resolved_floor = floor
         return missing
 
     def build(self, now: float) -> FeedbackMessage:
@@ -119,10 +153,10 @@ class FeedbackBuilder:
             self._nack_counts[seq] = before + 1
         message = FeedbackMessage(
             created_at=now,
-            reports=list(self._pending),
+            reports=self._pending,
             nacked_seqs=nacks,
             highest_seq=self._highest_seq,
             cumulative_lost=self._cumulative_lost,
         )
-        self._pending.clear()
+        self._pending = []
         return message

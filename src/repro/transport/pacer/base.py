@@ -18,7 +18,7 @@ from repro.net.packet import Packet
 from repro.sim.events import Event, EventLoop
 
 
-@dataclass
+@dataclass(slots=True)
 class PacerStats:
     """Counters the metrics layer reads off the pacer."""
 
@@ -37,7 +37,14 @@ class Pacer(abc.ABC):
 
     Subclasses implement :meth:`_next_send_delay`, returning how long to
     wait before the head packet may be released (0 = immediately).
+
+    The hierarchy is slotted (every subclass declares ``__slots__``) —
+    pacer state is touched on every packet send.
     """
+
+    __slots__ = ("loop", "send_fn", "stats", "_audio_queue", "_media_queue",
+                 "_rtx_queue", "_queued_bytes", "_pump_event",
+                 "_pacing_rate_bps")
 
     def __init__(self, loop: EventLoop,
                  send_fn: Callable[[Packet], None]) -> None:
@@ -146,31 +153,45 @@ class Pacer(abc.ABC):
             if delay > 0:
                 return
             self._pump_event.cancel()
-        self._pump_event = self.loop.call_later(delay, self._pump, name="pacer.pump")
+        self._pump_event = self.loop.call_later(delay, self._pump, "pacer.pump")
 
     def _pump(self) -> None:
         self._pump_event = None
+        audio = self._audio_queue
+        rtx = self._rtx_queue
+        media = self._media_queue
         while True:
-            head = self._peek_next()
-            if head is None:
+            # Inline triage (audio > rtx > media) so peek and pop share
+            # one pass; the three deques never change identity.
+            if audio:
+                queue = audio
+            elif rtx:
+                queue = rtx
+            elif media:
+                queue = media
+            else:
                 return
+            head = queue[0]
             delay = self._next_send_delay(head)
             if delay > 0:
                 self._schedule_pump(delay)
                 return
-            packet = self._pop_next()
-            assert packet is head
-            self._release(packet)
+            queue.popleft()
+            self._release(head)
 
     def _release(self, packet: Packet) -> None:
         now = self.loop.now
         packet.t_leave_pacer = now
-        self._queued_bytes -= packet.size_bytes
-        self.stats.sent_packets += 1
-        self.stats.sent_bytes += packet.size_bytes
-        if packet.t_enqueue_pacer is not None:
-            self.stats.pacing_delays.append(now - packet.t_enqueue_pacer)
-        self.stats.occupancy_samples.append((now, self._queued_bytes))
+        size = packet.size_bytes
+        queued = self._queued_bytes - size
+        self._queued_bytes = queued
+        stats = self.stats
+        stats.sent_packets += 1
+        stats.sent_bytes += size
+        enq = packet.t_enqueue_pacer
+        if enq is not None:
+            stats.pacing_delays.append(now - enq)
+        stats.occupancy_samples.append((now, queued))
         self.on_send(packet)
         self.send_fn(packet)
 

@@ -14,5 +14,7 @@ from repro.transport.pacer.base import Pacer
 class BurstPacer(Pacer):
     """Zero-delay release; the network queue does all the shaping."""
 
+    __slots__ = ()
+
     def _next_send_delay(self, packet: Packet) -> float:
         return 0.0

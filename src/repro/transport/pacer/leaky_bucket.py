@@ -27,6 +27,8 @@ class LeakyBucketPacer(Pacer):
     backlog instead).
     """
 
+    __slots__ = ("pacing_factor", "max_queue_time_s", "_next_send_time")
+
     def __init__(self, loop: EventLoop, send_fn: Callable[[Packet], None],
                  pacing_factor: float = 1.0,
                  max_queue_time_s: float | None = None) -> None:

@@ -20,6 +20,9 @@ from repro.transport.pacer.base import Pacer
 class TokenBucketPacer(Pacer):
     """Pacer gated by a byte-denominated token bucket."""
 
+    __slots__ = ("min_bucket_bytes", "max_queue_time_s", "rate_factor",
+                 "bucket", "on_frame_enqueued", "_bucket_size_log")
+
     def __init__(self, loop: EventLoop, send_fn: Callable[[Packet], None],
                  initial_bucket_bytes: float = 30_000.0,
                  min_bucket_bytes: float = 2 * DEFAULT_PAYLOAD_BYTES,

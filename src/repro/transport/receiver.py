@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketType
 from repro.sim.events import EventLoop
 from repro.transport.fec import FecDecoder
 from repro.transport.feedback import DEFAULT_FEEDBACK_INTERVAL_S, FeedbackBuilder, FeedbackMessage
@@ -97,7 +97,11 @@ class TransportReceiver:
     # ------------------------------------------------------------------
     def on_packet(self, packet: Packet) -> None:
         """Handle a media, retransmitted, or FEC-parity packet arriving."""
-        covers = getattr(packet, "fec_covers", None)
+        # fec_covers lives only on parity packets, which are always typed
+        # PROBE; gating the getattr on ptype avoids a per-media-packet
+        # AttributeError inside getattr (Packet is slotted).
+        covers = (getattr(packet, "fec_covers", None)
+                  if packet.ptype is PacketType.PROBE else None)
         if covers is not None:
             # Parity: report its arrival (it consumes bandwidth the CC
             # must see) and feed the repair machinery, but it is not
@@ -123,7 +127,9 @@ class TransportReceiver:
             self.frames[packet.frame_id] = record
         if record.first_arrival is None:
             record.first_arrival = packet.t_arrival
-        prev_sent = getattr(packet, "prev_sent_frame_id", None)
+        # prev_sent_frame_id is stamped only on a frame's first packet.
+        prev_sent = (getattr(packet, "prev_sent_frame_id", None)
+                     if packet.frame_packet_index == 0 else None)
         if prev_sent is not None:
             record.prev_sent_frame_id = prev_sent
             # Frames between prev_sent and this one were never sent

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from typing import List
 
 from repro.net.packet import DEFAULT_PAYLOAD_BYTES, Packet, PacketType
@@ -29,7 +28,8 @@ class Packetizer:
 
     def packet_count(self, size_bytes: int) -> int:
         """Number of packets a frame of ``size_bytes`` occupies."""
-        return max(1, math.ceil(size_bytes / self.payload_bytes))
+        count = (size_bytes + self.payload_bytes - 1) // self.payload_bytes
+        return count if count > 1 else 1
 
     def packetize(self, frame: EncodedFrame,
                   prev_sent_frame_id: int | None = None) -> List[Packet]:
@@ -41,23 +41,26 @@ class Packetizer:
         real RTP gets from sequence numbers.
         """
         count = self.packet_count(frame.size_bytes)
+        payload = self.payload_bytes
+        frame_id = frame.frame_id
+        seq = self._next_seq
         packets: List[Packet] = []
+        append = packets.append
         remaining = frame.size_bytes
         for index in range(count):
-            size = min(self.payload_bytes, remaining)
+            size = payload if remaining > payload else remaining
             remaining -= size
-            packet = Packet(
+            append(Packet(
                 size_bytes=size,
                 ptype=PacketType.VIDEO,
-                seq=self._next_seq,
-                frame_id=frame.frame_id,
+                seq=seq + index,
+                frame_id=frame_id,
                 frame_packet_index=index,
                 frame_packet_count=count,
-            )
-            if index == 0 and prev_sent_frame_id is not None:
-                packet.prev_sent_frame_id = prev_sent_frame_id  # type: ignore[attr-defined]
-            self._next_seq += 1
-            packets.append(packet)
+            ))
+        self._next_seq = seq + count
+        if prev_sent_frame_id is not None:
+            packets[0].prev_sent_frame_id = prev_sent_frame_id
         return packets
 
     def assign_seq(self, packet: Packet) -> Packet:

@@ -1,0 +1,173 @@
+"""Tests for the parallel experiment runner and the on-disk result cache.
+
+The contract under test: fanning a grid across worker processes — or
+answering it from the cache — must be *observationally identical* to
+running it serially in-process. Equality is checked on the canonical
+JSON encoding of the full SessionMetrics (every frame, packet counter,
+send event and BWE sample), not just headline statistics.
+"""
+
+import pytest
+
+from repro.analysis import ResultCache, canonical_metrics_json, code_version, \
+    metrics_from_dict, metrics_to_dict, trace_fingerprint
+from repro.analysis.cache import cache_enabled_by_env
+from repro.bench.parallel import GridTask, ParallelRunner, make_grid, run_grid
+from repro.bench.workloads import run_baseline, run_baselines, trace_library
+from repro.net.trace import BandwidthTrace
+from repro.rtc.session import SessionConfig
+
+BASELINES = ["ace", "webrtc-star", "cbr"]
+SEEDS = (3, 11)
+DURATION = 2.5
+
+
+@pytest.fixture()
+def traces():
+    return [
+        BandwidthTrace.constant(15e6, duration=10.0, name="flat-15"),
+        BandwidthTrace([0.0, 0.8, 1.6], [12e6, 6e6, 18e6], name="steppy"),
+    ]
+
+
+class TestParallelIdentity:
+    def test_parallel_grid_byte_identical_to_serial(self, traces):
+        serial = run_grid(BASELINES, traces, seeds=SEEDS, duration=DURATION,
+                          jobs=1)
+        parallel = run_grid(BASELINES, traces, seeds=SEEDS, duration=DURATION,
+                            jobs=4)
+        assert list(serial) == list(parallel)
+        assert len(serial) == len(BASELINES) * len(traces) * len(SEEDS)
+        for key in serial:
+            assert (canonical_metrics_json(serial[key])
+                    == canonical_metrics_json(parallel[key])), key
+
+    def test_results_come_back_in_task_order(self, traces):
+        tasks = make_grid(["cbr", "ace"], traces[:1], seeds=(3,),
+                          duration=DURATION)
+        runner = ParallelRunner(jobs=2)
+        results = runner.run(tasks)
+        # cbr and ace produce different packet counts; order must match.
+        direct = [canonical_metrics_json(
+                      run_baseline(t.baseline, t.trace, duration=DURATION))
+                  for t in tasks]
+        assert [canonical_metrics_json(m) for m in results] == direct
+
+    def test_grid_matches_run_baseline(self, traces):
+        trace = traces[0]
+        grid = run_grid(["ace"], [trace], seeds=(3,), duration=DURATION)
+        direct = run_baseline("ace", trace, duration=DURATION)
+        assert (canonical_metrics_json(grid[("ace", trace.name, 3, "gaming")])
+                == canonical_metrics_json(direct))
+
+    def test_run_baselines_parallel_same_as_serial(self, traces):
+        trace = traces[1]
+        serial = run_baselines(BASELINES, trace, duration=DURATION)
+        parallel = run_baselines(BASELINES, trace, duration=DURATION, jobs=3)
+        assert set(serial) == set(parallel) == set(BASELINES)
+        for name in BASELINES:
+            assert (canonical_metrics_json(serial[name])
+                    == canonical_metrics_json(parallel[name]))
+
+    def test_duplicate_trace_names_rejected(self, traces):
+        twin = BandwidthTrace.constant(15e6, duration=10.0, name="flat-15")
+        with pytest.raises(ValueError, match="duplicate"):
+            run_grid(["cbr"], [traces[0], twin], duration=DURATION)
+
+
+class TestResultCache:
+    def test_cache_hit_returns_equal_metrics_without_rerun(self, traces,
+                                                           tmp_path):
+        trace = traces[0]
+        cache = ResultCache(cache_dir=tmp_path, enabled=True)
+        first = ParallelRunner(jobs=1, cache=cache)
+        grid1 = run_grid(["cbr", "ace"], [trace], seeds=(3,),
+                         duration=DURATION, runner=first)
+        assert first.cache_hits == 0 and first.cache_misses == 2
+        assert cache.stores == 2
+
+        second = ParallelRunner(jobs=1, cache=cache)
+        grid2 = run_grid(["cbr", "ace"], [trace], seeds=(3,),
+                         duration=DURATION, runner=second)
+        assert second.cache_hits == 2 and second.cache_misses == 0
+        assert cache.stores == 2  # nothing re-ran, nothing re-stored
+        for key in grid1:
+            assert (canonical_metrics_json(grid1[key])
+                    == canonical_metrics_json(grid2[key]))
+        # the live bandwidth lookup is reattached on load
+        cached = grid2[("cbr", trace.name, 3, "gaming")]
+        assert cached.bandwidth_fn(0.5) == trace.rate_at(0.5)
+
+    def test_cache_key_separates_workloads(self, traces, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, enabled=True)
+        cfg_a = SessionConfig(duration=2.0, seed=3)
+        cfg_b = SessionConfig(duration=2.0, seed=4)
+        base = cache.make_key("ace", cfg_a, traces[0])
+        assert cache.make_key("ace", cfg_a, traces[0]) == base
+        assert cache.make_key("cbr", cfg_a, traces[0]) != base
+        assert cache.make_key("ace", cfg_b, traces[0]) != base
+        assert cache.make_key("ace", cfg_a, traces[1]) != base
+        assert cache.make_key("ace", cfg_a, traces[0], "lecture") != base
+        assert cache.make_key("ace", cfg_a, traces[0],
+                              extra={"cc_override": "bbr"}) != base
+
+    def test_env_escape_hatch(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert not cache_enabled_by_env()
+        cache = ResultCache(cache_dir=tmp_path)
+        assert not cache.enabled
+        assert cache.get("deadbeef") is None
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert cache_enabled_by_env()
+
+    def test_corrupt_entry_is_a_miss(self, traces, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, enabled=True)
+        key = cache.make_key("cbr", SessionConfig(duration=2.0, seed=3),
+                             traces[0])
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_trace_fingerprint_content_sensitive(self, traces):
+        a = trace_fingerprint(traces[0])
+        assert trace_fingerprint(traces[0]) == a
+        assert trace_fingerprint(traces[1]) != a
+        renamed = BandwidthTrace.constant(15e6, duration=10.0, name="other")
+        assert trace_fingerprint(renamed) != a
+
+    def test_code_version_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestMetricsRoundTrip:
+    def test_full_session_metrics_round_trip(self, traces):
+        metrics = run_baseline("ace", traces[1], duration=DURATION)
+        restored = metrics_from_dict(metrics_to_dict(metrics))
+        assert canonical_metrics_json(restored) == canonical_metrics_json(metrics)
+        assert restored.packets_sent == metrics.packets_sent
+        assert len(restored.frames) == len(metrics.frames)
+        assert restored.frames[0] == metrics.frames[0]
+        assert restored.p95_latency() == metrics.p95_latency()
+        assert restored.mean_vmaf() == metrics.mean_vmaf()
+        assert restored.stall_rate() == metrics.stall_rate()
+        assert restored.bandwidth_fn is None
+
+    def test_round_trip_through_json_text(self, traces):
+        import json
+        metrics = run_baseline("cbr", traces[0], duration=DURATION)
+        blob = json.dumps(metrics_to_dict(metrics))
+        restored = metrics_from_dict(json.loads(blob))
+        assert canonical_metrics_json(restored) == canonical_metrics_json(metrics)
+
+
+class TestTraceLibraryCache:
+    def test_library_keyed_by_seed_and_duration(self):
+        """Regression: the library cache ignored ``duration``, so a
+        short-trace request could hand back a long-trace corpus."""
+        short = trace_library(seed=7, duration=30.0)
+        long = trace_library(seed=7, duration=60.0)
+        assert short is not long
+        assert trace_library(seed=7, duration=30.0) is short
+        assert short.by_class("wifi")[0].duration < \
+            long.by_class("wifi")[0].duration

@@ -98,6 +98,21 @@ def test_run_max_events_budget():
     assert len(count) == 10
 
 
+def test_max_events_counts_executed_callbacks_only():
+    """Regression: cancelled events skipped off the heap must not eat
+    the ``max_events`` budget — only callbacks that run count."""
+    loop = EventLoop()
+    fired = []
+    stale = [loop.call_at(0.001 * i, lambda: fired.append("stale"))
+             for i in range(5)]
+    for event in stale:
+        event.cancel()
+    for i in range(3):
+        loop.call_at(1.0 + i, lambda i=i: fired.append(i))
+    loop.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
 def test_events_scheduled_at_now_fire_after_current():
     loop = EventLoop()
     order = []
