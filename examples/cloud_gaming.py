@@ -10,6 +10,14 @@ average latency, and received frame rate.
 Run:  python examples/cloud_gaming.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installing
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import numpy as np
 
 from repro.net import make_weak_network_trace

@@ -12,6 +12,14 @@ Demonstrates the extension surface a downstream user would touch:
 Run:  python examples/custom_controller.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installing
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.core import AceNConfig, AceNController
 from repro.net import make_wifi_trace
 from repro.net.packet import Packet

@@ -12,6 +12,14 @@ example sweeps a random-loss rate and shows the division of labor:
 Run:  python examples/fec_resilience.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installing
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.net import make_wifi_trace
 from repro.rtc import SessionConfig, build_session
 from repro.sim import RngStream

@@ -9,6 +9,14 @@ paced WebRTC* flow.
 Run:  python examples/multi_flow.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installing
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import numpy as np
 
 from repro.net.trace import BandwidthTrace

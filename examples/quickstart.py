@@ -8,6 +8,14 @@ the paper optimizes: tail latency and perceptual quality.
 Run:  python examples/quickstart.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installing
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.net import make_wifi_trace
 from repro.rtc import SessionConfig, build_session
 from repro.sim import RngStream

@@ -11,6 +11,14 @@ printing ACE's P95 latency reduction over WebRTC* at each point.
 Run:  python examples/trace_study.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installing
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.net import make_wifi_trace
 from repro.rtc import SessionConfig, build_session
 from repro.sim import RngStream

@@ -176,6 +176,40 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live.session import LiveConfig, build_live_session
+
+    trace = make_trace(args.trace, args.seed, args.duration + 10)
+    config = LiveConfig(
+        duration=args.duration, seed=args.seed, fps=args.fps,
+        initial_bwe_bps=args.initial_bwe * 1e6,
+        base_rtt=args.rtt / 1000.0,
+        random_loss_rate=args.loss,
+        queue_capacity_bytes=args.queue,
+        shaped=not args.unshaped,
+    )
+    session = build_live_session(args.baseline, config, trace=trace,
+                                 category=args.category)
+    print(f"live: {args.baseline} over UDP loopback, "
+          f"{args.duration:.0f}s wall-clock "
+          f"({'unshaped' if args.unshaped else args.trace}, "
+          f"rtt {args.rtt:g} ms, loss {args.loss:.1%})...")
+    metrics = asyncio.run(session.run())
+    print_table(f"{args.baseline} live ({args.duration:.0f}s, {args.category})",
+                HEADERS, [metrics_row(args.baseline, metrics)])
+    breakdown = metrics.latency_breakdown()
+    print_table("mean latency breakdown",
+                ["component", "ms"],
+                [[k, fmt_ms(v)] for k, v in breakdown.items()])
+    shim = session.impairment
+    print(f"impairment: {shim.delivered} datagrams delivered, "
+          f"{shim.dropped} dropped; "
+          f"{metrics.packets_retransmitted} retransmissions")
+    return 0
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     from repro.analysis import compare_runs, save_results
     from repro.scenarios import get_scenario, list_scenarios, run_scenario
@@ -262,6 +296,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline the comparison is relative to")
     _add_common(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_live = sub.add_parser(
+        "live",
+        help="run one baseline in real time over UDP loopback")
+    p_live.add_argument("--baseline", default="ace")
+    p_live.add_argument("--trace", default="const:20",
+                        help="wifi|4g|5g|campus|const:<mbps>|weak:<venue>")
+    p_live.add_argument("--duration", type=float, default=5.0,
+                        help="wall-clock seconds to run")
+    p_live.add_argument("--seed", type=int, default=1)
+    p_live.add_argument("--fps", type=float, default=30.0)
+    p_live.add_argument("--rtt", type=float, default=30.0,
+                        help="emulated base RTT in ms")
+    p_live.add_argument("--loss", type=float, default=0.0,
+                        help="emulated random loss rate (0..1)")
+    p_live.add_argument("--queue", type=int, default=100_000,
+                        help="emulated bottleneck queue in bytes")
+    p_live.add_argument("--initial-bwe", type=float, default=4.0,
+                        dest="initial_bwe", help="initial BWE in Mbps")
+    p_live.add_argument("--category", default="gaming",
+                        choices=sorted(CONTENT_CATEGORIES))
+    p_live.add_argument("--unshaped", action="store_true",
+                        help="skip trace shaping (delay/loss still apply)")
+    p_live.set_defaults(func=cmd_live)
 
     p_sc = sub.add_parser("scenario",
                           help="run a named paper-experiment scenario")

@@ -1,0 +1,44 @@
+"""repro.live — wall-clock runtime for the ACE stack over real sockets.
+
+The simulator answers "is the control logic right?"; this package
+answers "does it survive contact with an operating system?" — real UDP
+sockets, real asyncio timers, real scheduling jitter. It provides:
+
+* :mod:`repro.live.clock` — the :class:`Clock` scheduling protocol with
+  :class:`SimClock` (discrete-event) and :class:`WallClock` (asyncio)
+  implementations;
+* :mod:`repro.live.transport` — the :class:`Transport` surface with
+  :class:`SimTransport` (NetworkPath veneer) and :class:`UdpTransport`
+  (datagram endpoint) implementations;
+* :mod:`repro.live.wire` — the binary datagram format;
+* :mod:`repro.live.impairment` — the in-process bottleneck shim that
+  substitutes for Mahimahi/netem on the loopback path;
+* :mod:`repro.live.session` — :class:`LiveSession` /
+  :func:`build_live_session` / :func:`run_live`.
+
+``LiveSession`` and friends are re-exported lazily: the transport/clock
+modules are imported by the core rtc stack, and an eager import of
+:mod:`repro.live.session` from here would cycle back into it.
+"""
+
+from __future__ import annotations
+
+from repro.live.clock import Clock, SimClock, WallClock, WallTimer
+from repro.live.impairment import ImpairmentConfig, LoopbackImpairment
+from repro.live.transport import SimTransport, Transport, UdpTransport
+
+__all__ = [
+    "Clock", "SimClock", "WallClock", "WallTimer",
+    "ImpairmentConfig", "LoopbackImpairment",
+    "SimTransport", "Transport", "UdpTransport",
+    "LiveConfig", "LiveSession", "build_live_session", "run_live",
+]
+
+_LAZY = {"LiveConfig", "LiveSession", "build_live_session", "run_live"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.live import session
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,155 @@
+"""Clock abstraction: one scheduling interface for sim and wall time.
+
+The whole RTC stack (sender, receiver, pacers, audio) schedules work
+through three operations — read ``now``, ``call_at``, ``call_later`` —
+and cancels pending work through the returned handle. :class:`Clock`
+captures exactly that surface, so the same component code runs
+
+* inside the discrete-event simulator (:class:`~repro.sim.events.EventLoop`
+  satisfies the protocol natively; :class:`SimClock` wraps one when a
+  distinct clock object is wanted), and
+* against real time on asyncio (:class:`WallClock`), where ``repro live``
+  drives the stack over actual UDP sockets.
+
+Contract (shared by every implementation, see ``tests/test_live_clock.py``):
+
+* ``now`` is monotonically non-decreasing, in seconds, starting near 0.
+* ``call_later(d, fn)`` fires ``fn`` no earlier than ``now + d``; equal
+  deadlines fire in scheduling order on the sim clock (wall clocks make
+  no ordering promise beyond asyncio's).
+* handles expose ``cancel()`` and a ``cancelled`` attribute/property; a
+  cancelled callback never fires.
+
+The one intentional divergence: ``EventLoop.call_at`` raises on times in
+the past (a sim bug), while :class:`WallClock.call_at` clamps them to
+"now" (on a wall clock the deadline may have passed while Python was
+scheduling — that is jitter, not a bug).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+from repro.sim.events import EventLoop
+
+
+@runtime_checkable
+class ScheduledCall(Protocol):
+    """Handle for a scheduled callback (sim ``Event`` or wall timer)."""
+
+    cancelled: Any  # bool attribute or property
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What a component needs to schedule itself; see module docstring."""
+
+    now: Any  # float attribute (EventLoop) or property (WallClock)
+
+    def call_at(self, when: float, callback: Callable[[], None],
+                name: str = "") -> ScheduledCall: ...
+
+    def call_later(self, delay: float, callback: Callable[[], None],
+                   name: str = "") -> ScheduledCall: ...
+
+
+class SimClock:
+    """A :class:`Clock` wrapping a discrete-event :class:`EventLoop`.
+
+    Scheduling delegates to the wrapped loop's own bound methods (no
+    per-call indirection), so a stack scheduled through a ``SimClock``
+    produces the *identical* event sequence as one holding the loop
+    directly. Exists for call sites that want an explicit clock object;
+    passing the ``EventLoop`` itself is equivalent (it satisfies the
+    protocol structurally).
+    """
+
+    __slots__ = ("loop", "call_at", "call_later")
+
+    def __init__(self, loop: Optional[EventLoop] = None) -> None:
+        self.loop = loop if loop is not None else EventLoop()
+        # Bound-method forwarding: scheduling through the clock is
+        # byte-for-byte the same operation as scheduling on the loop.
+        self.call_at = self.loop.call_at
+        self.call_later = self.loop.call_later
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Advance simulated time (driver-side; components never call this)."""
+        self.loop.run(until=until, max_events=max_events)
+
+
+class WallTimer:
+    """Cancellable handle over an :class:`asyncio.TimerHandle`.
+
+    Mirrors the sim :class:`~repro.sim.events.Event` surface the stack
+    relies on (``cancel()`` + ``cancelled``) plus ``time``/``name`` for
+    debugging.
+    """
+
+    __slots__ = ("time", "name", "_handle")
+
+    def __init__(self, time: float, name: str,
+                 handle: asyncio.TimerHandle) -> None:
+        self.time = time
+        self.name = name
+        self._handle = handle
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._handle.cancelled()
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"WallTimer(t={self.time:.6f}, name={self.name!r}{state})"
+
+
+class WallClock:
+    """Real-time :class:`Clock` on the running asyncio event loop.
+
+    ``now`` is seconds since construction, measured on the asyncio
+    loop's monotonic clock — using the *same* timebase asyncio schedules
+    timers on keeps ``call_at(now + d)`` and ``call_later(d)`` perfectly
+    consistent. Callbacks run on the asyncio loop (single-threaded, like
+    the simulator), but at whatever wall time the OS scheduler grants —
+    the scheduling jitter live mode exists to exercise.
+    """
+
+    __slots__ = ("_aloop", "_origin")
+
+    def __init__(self, aloop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._aloop = aloop if aloop is not None else asyncio.get_event_loop()
+        self._origin = self._aloop.time()
+
+    @property
+    def now(self) -> float:
+        return self._aloop.time() - self._origin
+
+    def call_at(self, when: float, callback: Callable[[], None],
+                name: str = "") -> WallTimer:
+        # Deadlines in the past fire as soon as possible (see module
+        # docstring); asyncio's call_at already behaves that way.
+        handle = self._aloop.call_at(self._origin + when, callback)
+        return WallTimer(when, name, handle)
+
+    def call_later(self, delay: float, callback: Callable[[], None],
+                   name: str = "") -> WallTimer:
+        if delay < 0:
+            delay = 0.0
+        when = self.now + delay
+        handle = self._aloop.call_later(delay, callback)
+        return WallTimer(when, name, handle)
+
+    async def sleep(self, delay: float) -> None:
+        """Driver-side wait (components use call_later, never this)."""
+        await asyncio.sleep(delay)

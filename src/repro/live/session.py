@@ -1,0 +1,253 @@
+"""Live session driver: the ACE stack over real UDP sockets.
+
+Runs the *same* sender and receiver components as the simulated
+:class:`~repro.rtc.session.RtcSession` — codec model, rate control,
+pacers, congestion controller, ACE-N/ACE-C — but schedules them on a
+:class:`~repro.live.clock.WallClock` and moves packets through
+:class:`~repro.live.transport.UdpTransport` endpoints on the loopback
+interface. An in-process impairment shim substitutes for the paper's
+Mahimahi bottleneck (no ``tc``/netem on CI-class machines), so the
+stack experiences real socket latency, real asyncio timer jitter, and a
+configurable emulated bottleneck — the conditions the paper's WebRTC
+deployment runs under, scaled down to one host.
+
+The output is the ordinary :class:`~repro.rtc.metrics.SessionMetrics`,
+so every analysis/report helper in the repo works on live runs too::
+
+    metrics = run_live("ace", duration=5.0)
+    print(metrics.p95_latency(), metrics.mean_vmaf())
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.live.clock import WallClock
+from repro.live.impairment import ImpairmentConfig, LoopbackImpairment
+from repro.live.transport import UdpTransport
+from repro.net.packet import Packet
+from repro.net.trace import BandwidthTrace
+from repro.rtc.metrics import SessionMetrics
+from repro.rtc.sender import Sender
+from repro.rtc.session import (
+    DisplaySync,
+    _CaptureTimeView,
+    _QualityView,
+    build_ace_controllers,
+)
+from repro.sim.rng import SeedSequenceFactory
+from repro.transport.receiver import TransportReceiver
+
+
+@dataclass
+class LiveConfig:
+    """Knobs of one live (wall-clock, UDP-loopback) run."""
+
+    duration: float = 5.0
+    seed: int = 1
+    fps: float = 30.0
+    initial_bwe_bps: float = 4_000_000.0
+    max_bwe_bps: float = 30_000_000.0
+    #: emulated two-way propagation delay (impairment shim).
+    base_rtt: float = 0.03
+    #: i.i.d. random loss on the forward path.
+    random_loss_rate: float = 0.0
+    #: drop-tail queue of the emulated bottleneck.
+    queue_capacity_bytes: int = 100_000
+    #: post-stop settle time for in-flight packets and feedback.
+    drain: float = 0.5
+    #: shape traffic to ``trace``; False = unshaped loopback (delay/loss
+    #: still apply).
+    shaped: bool = True
+
+
+class LiveSession:
+    """One sender/receiver pair over UDP loopback on a wall clock.
+
+    Built by :func:`build_live_session` from a baseline name; call
+    :meth:`run` inside an event loop (or use the synchronous
+    :func:`run_live` wrapper).
+    """
+
+    def __init__(self, trace: Optional[BandwidthTrace], config: LiveConfig,
+                 source_factory, codec_factory, rate_control_factory,
+                 pacer_factory, cc_factory,
+                 sender_config=None, ace_n_config=None,
+                 ace_c_config=None) -> None:
+        self.trace = trace
+        self.config = config
+        self.rngs = SeedSequenceFactory(config.seed)
+        self._factories = (source_factory, codec_factory,
+                           rate_control_factory, pacer_factory, cc_factory)
+        self._sender_config = sender_config
+        self._ace_n_config = ace_n_config
+        self._ace_c_config = ace_c_config
+        self._finished = False
+        # Populated by run():
+        self.clock: Optional[WallClock] = None
+        self.sender: Optional[Sender] = None
+        self.receiver: Optional[TransportReceiver] = None
+        self.impairment: Optional[LoopbackImpairment] = None
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    async def run(self) -> SessionMetrics:
+        """Execute the session in real time and aggregate metrics."""
+        if self._finished:
+            raise RuntimeError("session already ran; build a new one")
+        config = self.config
+        (source_factory, codec_factory, rate_control_factory,
+         pacer_factory, cc_factory) = self._factories
+
+        clock = self.clock = WallClock(asyncio.get_running_loop())
+        impairment = self.impairment = LoopbackImpairment(
+            ImpairmentConfig(
+                base_rtt=config.base_rtt,
+                queue_capacity_bytes=config.queue_capacity_bytes,
+                random_loss_rate=config.random_loss_rate,
+            ),
+            trace=self.trace if config.shaped else None,
+            rng=self.rngs.stream("path.loss"),
+        )
+
+        # Two UDP endpoints on loopback, peered at each other. The
+        # sender end shapes outgoing media; the receiver end delays
+        # feedback by the reverse propagation only (uncongested).
+        recv_end = await UdpTransport.create(clock)
+        send_end = await UdpTransport.create(clock, impairment=impairment)
+        send_end.connect(recv_end.local_addr)
+        recv_end.connect(send_end.local_addr)
+
+        codec = codec_factory(self.rngs)
+        source = source_factory(self.rngs)
+        sender_cfg = self._sender_config
+        if sender_cfg is None:
+            from repro.rtc.sender import SenderConfig
+            sender_cfg = SenderConfig(fps=config.fps)
+        sender_cfg.fps = config.fps
+        if sender_cfg.fec_enabled:
+            raise ValueError("FEC parity is not encodable on the live wire "
+                             "format yet; pick a non-FEC baseline")
+
+        cc = cc_factory()
+        pacer = pacer_factory(clock, send_end.send)
+        pacer.set_pacing_rate(cc.bwe_bps)
+        ace_n, ace_c = build_ace_controllers(
+            sender_cfg, codec, config.fps, config.initial_bwe_bps,
+            ace_n_config=self._ace_n_config, ace_c_config=self._ace_c_config)
+
+        sender = self.sender = Sender(
+            clock, source, codec, rate_control_factory(), pacer, cc,
+            send_end, config=sender_cfg, ace_c=ace_c, ace_n=ace_n)
+        receiver = self.receiver = TransportReceiver(
+            clock,
+            send_feedback_fn=recv_end.send_feedback,
+            decode_time_fn=codec.decode_time,
+        )
+        receiver.frame_capture_time = _CaptureTimeView(sender)
+        receiver.frame_quality = _QualityView(sender)
+        display_sync = DisplaySync(sender, receiver)
+
+        def on_arrival(packet: Packet) -> None:
+            receiver.on_packet(packet)
+            if display_sync.pending:
+                display_sync.sync()
+
+        recv_end.on_arrival = on_arrival
+        send_end.on_feedback = sender.on_feedback
+        send_end.on_drop = lambda packet: None  # counted by the transport
+
+        sender.start()
+        receiver.start()
+        try:
+            await clock.sleep(config.duration)
+            sender.stop()
+            # Let in-flight packets and feedback land.
+            await clock.sleep(config.drain)
+        finally:
+            send_end.close()
+            recv_end.close()
+        display_sync.sync()
+        self._finished = True
+        return self._collect(send_end)
+
+    def _collect(self, send_end: UdpTransport) -> SessionMetrics:
+        sender = self.sender
+        metrics = SessionMetrics(duration=self.config.duration)
+        metrics.frames = [sender.frame_metrics[fid]
+                          for fid in sorted(sender.frame_metrics)]
+        metrics.packets_sent = sender.pacer.stats.sent_packets
+        metrics.packets_lost = len(send_end.dropped_packets)
+        metrics.packets_retransmitted = sender.retransmissions
+        metrics.send_events = list(sender.send_events)
+        metrics.bwe_history = [(s.time, s.bwe_bps) for s in sender.cc.history]
+        if self.trace is not None and self.config.shaped:
+            metrics.bandwidth_fn = self.trace.rate_at
+        return metrics
+
+
+def build_live_session(baseline: str, config: Optional[LiveConfig] = None,
+                       trace: Optional[BandwidthTrace] = None,
+                       category: str = "gaming",
+                       ace_n_config=None, ace_c_config=None) -> LiveSession:
+    """Build a :class:`LiveSession` for a named baseline.
+
+    Reuses the baseline registry's factories, so ``"ace"`` here is the
+    same stack as ``build_session("ace", ...)`` — only the clock and the
+    transport differ.
+    """
+    # Imported here: baselines imports rtc.session, which imports
+    # repro.live.transport — a module-level import would cycle.
+    from repro.rtc.baselines import (
+        _cc_factory,
+        _codec_factory,
+        _pacer_factory,
+        _rate_control_factory,
+        get_spec,
+    )
+    from repro.rtc.sender import SenderConfig
+    from repro.video.source import VideoSource
+
+    config = config or LiveConfig()
+    if trace is None:
+        trace = BandwidthTrace.constant(
+            20e6, duration=config.duration + config.drain + 10)
+    spec = get_spec(baseline)
+
+    def source_factory(rngs, _cat=category, _fps=config.fps):
+        return VideoSource.from_category(_cat, rngs.stream("source"),
+                                         fps=_fps)
+
+    sender_config = SenderConfig(
+        fps=config.fps,
+        ace_c_enabled=spec.ace_c,
+        ace_n_enabled=spec.ace_n,
+        salsify_mode=spec.salsify,
+        fec_enabled=spec.fec,
+        max_target_bitrate_bps=spec.max_target_bitrate_bps,
+    )
+    return LiveSession(
+        trace=trace,
+        config=config,
+        source_factory=source_factory,
+        codec_factory=_codec_factory(spec),
+        rate_control_factory=_rate_control_factory(spec),
+        pacer_factory=_pacer_factory(spec, ace_n_config),
+        cc_factory=_cc_factory(spec, config.initial_bwe_bps,
+                               config.max_bwe_bps),
+        sender_config=sender_config,
+        ace_n_config=ace_n_config,
+        ace_c_config=ace_c_config,
+    )
+
+
+def run_live(baseline: str, config: Optional[LiveConfig] = None,
+             trace: Optional[BandwidthTrace] = None,
+             category: str = "gaming", **kwargs) -> SessionMetrics:
+    """Synchronous convenience wrapper: build, run, return metrics."""
+    session = build_live_session(baseline, config=config, trace=trace,
+                                 category=category, **kwargs)
+    return asyncio.run(session.run())

@@ -154,6 +154,11 @@ class NetworkPath:
         if self.on_feedback is not None:
             self.on_feedback(message)
 
+    @property
+    def reverse_delay_estimate(self) -> float:
+        """One-way feedback-path delay (the Transport-surface estimate)."""
+        return self.config.one_way_delay
+
     # ------------------------------------------------------------------
     # observability (used by benches and calibration tests)
     # ------------------------------------------------------------------

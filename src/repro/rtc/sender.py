@@ -14,15 +14,17 @@ configuration, not a fork:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.ace_c import AceCController
 from repro.core.ace_n import AceNController
 from repro.net.packet import Packet
-from repro.net.path import NetworkPath
 from repro.rtc.metrics import FrameMetrics
-from repro.sim.events import EventLoop
 from repro.transport.cc.base import CongestionController
+
+if TYPE_CHECKING:
+    from repro.live.clock import Clock
+    from repro.live.transport import Transport
 from repro.transport.feedback import FeedbackMessage
 from repro.transport.audio import AudioSource
 from repro.transport.fec import FecConfig, FecEncoder
@@ -73,11 +75,18 @@ class SenderConfig:
 
 
 class Sender:
-    """Drives the capture/encode/send pipeline on the event loop."""
+    """Drives the capture/encode/send pipeline on a :class:`Clock`.
 
-    def __init__(self, loop: EventLoop, source, codec: CodecModel,
+    ``loop`` is any clock satisfying the scheduling protocol — the sim
+    ``EventLoop`` or a live ``WallClock``. ``transport`` is anything
+    exposing the :class:`~repro.live.transport.Transport` surface (the
+    sender only reads ``reverse_delay_estimate`` off it; packets leave
+    through the pacer's ``send_fn``).
+    """
+
+    def __init__(self, loop: "Clock", source, codec: CodecModel,
                  rate_control: RateControl, pacer: Pacer,
-                 cc: CongestionController, path: NetworkPath,
+                 cc: CongestionController, transport: "Transport",
                  config: Optional[SenderConfig] = None,
                  ace_c: Optional[AceCController] = None,
                  ace_n: Optional[AceNController] = None) -> None:
@@ -87,7 +96,7 @@ class Sender:
         self.rate_control = rate_control
         self.pacer = pacer
         self.cc = cc
-        self.path = path
+        self.transport = transport
         self.config = config or SenderConfig()
         self.ace_c = ace_c
         self.ace_n = ace_n
@@ -307,7 +316,7 @@ class Sender:
     # ------------------------------------------------------------------
     def on_feedback(self, message: FeedbackMessage) -> None:
         now = self.loop.now
-        reverse = self.path.config.one_way_delay
+        reverse = self.transport.reverse_delay_estimate
         if hasattr(self.cc, "observe_reverse_delay"):
             self.cc.observe_reverse_delay(reverse)
         observe_rtt = self.cc.observe_rtt

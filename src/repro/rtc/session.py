@@ -1,4 +1,11 @@
-"""Session runner: wires sender, receiver, path and metrics together."""
+"""Session runner: wires sender, receiver, path and metrics together.
+
+The sim session schedules on an :class:`EventLoop` and moves packets
+through a :class:`SimTransport`; its live twin
+(:class:`repro.live.session.LiveSession`) swaps those for a
+``WallClock`` and a ``UdpTransport`` while reusing the same component
+stack — the shared construction helpers live here.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import Callable, Optional
 
 from repro.core.ace_c import AceCConfig, AceCController
 from repro.core.ace_n import AceNConfig, AceNController
+from repro.live.transport import SimTransport
 from repro.net.cross_traffic import PageLoadGenerator
 from repro.net.packet import Packet, PacketType
 from repro.net.path import NetworkPath, PathConfig
@@ -22,6 +30,72 @@ from repro.transport.audio import AudioReceiver
 from repro.transport.receiver import TransportReceiver
 from repro.video.codec.model import CodecModel
 from repro.video.codec.rate_control import RateControl
+
+
+def build_ace_controllers(sender_cfg: SenderConfig, codec: CodecModel,
+                          fps: float, initial_bwe_bps: float,
+                          ace_n_config: Optional[AceNConfig] = None,
+                          ace_c_config: Optional[AceCConfig] = None,
+                          ) -> tuple[Optional[AceNController],
+                                     Optional[AceCController]]:
+    """Construct the ACE controllers a sender config asks for.
+
+    Shared by the sim and live sessions so the ACE-C seeding (complexity
+    factors calibrated from the codec's level curves, Fig. 4) is
+    identical in both modes.
+    """
+    ace_n = None
+    if sender_cfg.ace_n_enabled:
+        ace_n = AceNController(ace_n_config or AceNConfig())
+    ace_c = None
+    if sender_cfg.ace_c_enabled:
+        levels = codec.config.levels
+        if ace_c_config is None:
+            # "Empirical values" for the complexity factors come from
+            # the offline per-codec calibration (Fig. 4): seed phi
+            # and delta_Te with the encoder's measured level curves.
+            budget_bits = initial_bwe_bps / fps
+            base_time = levels[0].encode_time(budget_bits)
+            ace_c_config = AceCConfig(
+                initial_phi=tuple(l.phi for l in levels),
+                initial_delta_te=tuple(
+                    max(0.0, l.encode_time(budget_bits) - base_time)
+                    for l in levels),
+            )
+        ace_c = AceCController(num_levels=len(levels), fps=fps,
+                               config=ace_c_config)
+    return ace_n, ace_c
+
+
+class DisplaySync:
+    """Joins receiver display records back onto sender frame metrics.
+
+    Walks only frames displayed since the previous sync (the receiver
+    appends in display order), keeping the cost O(1) amortized per
+    arrival instead of rescanning the whole session.
+    """
+
+    def __init__(self, sender: Sender, receiver: TransportReceiver) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self._cursor = 0
+
+    def sync(self) -> None:
+        displayed = self.receiver.displayed
+        sender = self.sender
+        while self._cursor < len(displayed):
+            record = displayed[self._cursor]
+            self._cursor += 1
+            metrics = sender.frame_metrics.get(record.frame_id)
+            if metrics is not None and metrics.displayed_at is None:
+                metrics.complete_at = record.complete_at
+                metrics.displayed_at = record.displayed_at
+                metrics.had_retransmission = record.had_retransmission
+                sender.forget_frame(record.frame_id)
+
+    @property
+    def pending(self) -> bool:
+        return self._cursor < len(self.receiver.displayed)
 
 
 @dataclass
@@ -80,6 +154,7 @@ class RtcSession:
         )
         self.path = NetworkPath(self.loop, trace, path_config,
                                 rng=self.rngs.stream("path.loss"))
+        self.transport = SimTransport(self.path)
 
         self.codec = codec_factory(self.rngs)
         self.source = source_factory(self.rngs)
@@ -91,38 +166,21 @@ class RtcSession:
         if self.cc.bwe_bps != config.initial_bwe_bps and cc_factory is None:
             pass
 
-        pacer = pacer_factory(self.loop, self.path.send)
+        pacer = pacer_factory(self.loop, self.transport.send)
         pacer.set_pacing_rate(self.cc.bwe_bps)
 
-        ace_n = None
-        if sender_cfg.ace_n_enabled:
-            ace_n = AceNController(ace_n_config or AceNConfig())
-        ace_c = None
-        if sender_cfg.ace_c_enabled:
-            levels = self.codec.config.levels
-            if ace_c_config is None:
-                # "Empirical values" for the complexity factors come from
-                # the offline per-codec calibration (Fig. 4): seed phi
-                # and delta_Te with the encoder's measured level curves.
-                budget_bits = config.initial_bwe_bps / config.fps
-                base_time = levels[0].encode_time(budget_bits)
-                ace_c_config = AceCConfig(
-                    initial_phi=tuple(l.phi for l in levels),
-                    initial_delta_te=tuple(
-                        max(0.0, l.encode_time(budget_bits) - base_time)
-                        for l in levels),
-                )
-            ace_c = AceCController(num_levels=len(levels), fps=config.fps,
-                                   config=ace_c_config)
+        ace_n, ace_c = build_ace_controllers(
+            sender_cfg, self.codec, config.fps, config.initial_bwe_bps,
+            ace_n_config=ace_n_config, ace_c_config=ace_c_config)
 
         self.sender = Sender(
             self.loop, self.source, self.codec, rate_control_factory(),
-            pacer, self.cc, self.path, config=sender_cfg,
+            pacer, self.cc, self.transport, config=sender_cfg,
             ace_c=ace_c, ace_n=ace_n,
         )
         self.receiver = TransportReceiver(
             self.loop,
-            send_feedback_fn=self.path.send_feedback,
+            send_feedback_fn=self.transport.send_feedback,
             decode_time_fn=self.codec.decode_time,
         )
         self.audio_receiver = AudioReceiver(self.loop)
@@ -134,12 +192,12 @@ class RtcSession:
                 rtt_estimate=config.base_rtt,
             )
 
-        self.path.on_arrival = self._on_arrival
-        self.path.on_feedback = self._on_feedback
-        self.path.on_drop = self._on_drop
+        self.transport.on_arrival = self._on_arrival
+        self.transport.on_feedback = self._on_feedback
+        self.transport.on_drop = self._on_drop
         self._media_drops = 0
         self._finished = False
-        self._display_sync_cursor = 0
+        self._display_sync = DisplaySync(self.sender, self.receiver)
 
     # ------------------------------------------------------------------
     # path callbacks
@@ -155,23 +213,8 @@ class RtcSession:
         self.receiver.on_packet(packet)
         # Any frames that just became displayable get their sender-side
         # metrics stamped here.
-        if self._display_sync_cursor < len(self.receiver.displayed):
-            self._sync_display_times()
-
-    def _sync_display_times(self) -> None:
-        # Only walk frames displayed since the previous sync (the
-        # receiver appends in display order), keeping this O(1) amortized
-        # per arrival instead of rescanning the whole session.
-        displayed = self.receiver.displayed
-        while self._display_sync_cursor < len(displayed):
-            record = displayed[self._display_sync_cursor]
-            self._display_sync_cursor += 1
-            metrics = self.sender.frame_metrics.get(record.frame_id)
-            if metrics is not None and metrics.displayed_at is None:
-                metrics.complete_at = record.complete_at
-                metrics.displayed_at = record.displayed_at
-                metrics.had_retransmission = record.had_retransmission
-                self.sender.forget_frame(record.frame_id)
+        if self._display_sync.pending:
+            self._display_sync.sync()
 
     def _on_feedback(self, message) -> None:
         self.sender.on_feedback(message)
@@ -204,7 +247,7 @@ class RtcSession:
             self.cross_traffic.stop()
         # Let in-flight packets and feedback land (half a second of drain).
         self.loop.run(until=self.config.duration + 0.5)
-        self._sync_display_times()
+        self._display_sync.sync()
         self._finished = True
         return self._collect()
 

@@ -66,6 +66,10 @@ class EventLoop:
     def __init__(self, start_time: float = 0.0) -> None:
         #: current simulation time in seconds (read-only for callers).
         self.now = start_time
+        #: observability hook: called as ``on_event(event)`` after each
+        #: executed callback (see :class:`repro.sim.tracing.Tracer`).
+        #: ``None`` keeps the hot loop hook-free.
+        self.on_event: Optional[Callable[[Event], None]] = None
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._processed = 0
@@ -123,6 +127,8 @@ class EventLoop:
             self.now = when
             self._processed += 1
             event.callback()
+            if self.on_event is not None:
+                self.on_event(event)
             return True
         return False
 
@@ -135,11 +141,8 @@ class EventLoop:
         *executed callbacks* only — popping a cancelled event never burns
         budget.
         """
-        if "step" in self.__dict__:
-            # step() has been instance-patched (e.g. by a Tracer); route
-            # every execution through it so the hook observes each event.
-            return self._run_via_step(until, max_events)
         heap = self._heap
+        hook = self.on_event
         limit = math.inf if until is None else until
         budget = math.inf if max_events is None else max_events
         executed = 0
@@ -161,6 +164,8 @@ class EventLoop:
                 self.now = when
                 executed += 1
                 event.callback()
+                if hook is not None:
+                    hook(event)
         finally:
             self._processed += executed
         if stopped_on_budget:
@@ -168,37 +173,10 @@ class EventLoop:
         if until is not None and until > self.now:
             self.now = until
 
-    def _run_via_step(self, until: Optional[float],
-                      max_events: Optional[int]) -> None:
-        """Slow path preserving the step()-per-event contract for hooks."""
-        heap = self._heap
-        executed = 0
-        while heap:
-            if max_events is not None and executed >= max_events:
-                return
-            entry = heap[0]
-            if entry[2].cancelled:
-                heappop(heap)
-                continue
-            if until is not None and entry[0] > until:
-                break
-            if not self.step():
-                break
-            executed += 1
-        if until is not None and until > self.now:
-            self.now = until
-
     def drain(self, max_events: int = 10_000_000) -> None:
         """Run until the queue is empty, with a runaway guard."""
-        if "step" in self.__dict__:
-            executed = 0
-            while self.step():
-                executed += 1
-                if executed > max_events:
-                    raise SimulationError(
-                        f"event budget of {max_events} exhausted")
-            return
         heap = self._heap
+        hook = self.on_event
         executed = 0
         try:
             while heap:
@@ -208,6 +186,8 @@ class EventLoop:
                 self.now = when
                 executed += 1
                 event.callback()
+                if hook is not None:
+                    hook(event)
                 if executed > max_events:
                     raise SimulationError(
                         f"event budget of {max_events} exhausted")

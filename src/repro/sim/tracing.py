@@ -13,7 +13,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-from repro.sim.events import EventLoop
+from repro.sim.events import Event, EventLoop
 
 
 @dataclass
@@ -34,40 +34,34 @@ class Tracer:
         self.max_records = max_records
         self.records: list[TraceRecord] = []
         self._installed = False
-        self._orig_step: Optional[Callable[[], bool]] = None
+        self._prev_hook: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # installation
     # ------------------------------------------------------------------
     def install(self) -> "Tracer":
-        """Hook the loop's step() to record each executed event."""
+        """Attach to the loop's ``on_event`` hook to record executed events.
+
+        Any hook already installed keeps firing (tracers chain), so two
+        tracers with different filters can observe the same loop.
+        """
         if self._installed:
             return self
-        self._orig_step = self.loop.step
-        tracer = self
-
-        def traced_step() -> bool:
-            heap = tracer.loop._heap
-            # Peek the next non-cancelled event's name before executing.
-            # Heap entries are (time, seq, event) tuples.
-            pending_name = ""
-            for _when, _seq, event in heap:
-                if not event.cancelled:
-                    pending_name = event.name
-                    break
-            progressed = tracer._orig_step()
-            if progressed:
-                tracer._record(tracer.loop.now, pending_name)
-            return progressed
-
-        self.loop.step = traced_step  # type: ignore[method-assign]
+        self._prev_hook = self.loop.on_event
+        self.loop.on_event = self._on_event
         self._installed = True
         return self
 
     def uninstall(self) -> None:
-        if self._installed and self._orig_step is not None:
-            self.loop.step = self._orig_step  # type: ignore[method-assign]
+        if self._installed:
+            self.loop.on_event = self._prev_hook
+            self._prev_hook = None
             self._installed = False
+
+    def _on_event(self, event: Event) -> None:
+        self._record(self.loop.now, event.name)
+        if self._prev_hook is not None:
+            self._prev_hook(event)
 
     # ------------------------------------------------------------------
     # recording

@@ -16,10 +16,12 @@ delay.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.packet import Packet, PacketType
-from repro.sim.events import EventLoop
+
+if TYPE_CHECKING:
+    from repro.live.clock import Clock
 
 #: Opus defaults: one frame every 20 ms, ~64 kbps -> 160 B payloads.
 AUDIO_INTERVAL_S = 0.020
@@ -41,7 +43,7 @@ class AudioSource:
     pacer's priority queue.
     """
 
-    def __init__(self, loop: EventLoop,
+    def __init__(self, loop: "Clock",
                  enqueue_fn: Callable[[Packet], None],
                  interval_s: float = AUDIO_INTERVAL_S,
                  payload_bytes: int = AUDIO_PAYLOAD_BYTES) -> None:
@@ -79,7 +81,7 @@ class AudioSource:
 class AudioReceiver:
     """Collects mouth-to-ear delays for arriving audio packets."""
 
-    def __init__(self, loop: EventLoop) -> None:
+    def __init__(self, loop: "Clock") -> None:
         self.loop = loop
         self.stats = AudioStats()
 

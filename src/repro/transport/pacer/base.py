@@ -12,10 +12,12 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.net.packet import Packet
-from repro.sim.events import Event, EventLoop
+
+if TYPE_CHECKING:
+    from repro.live.clock import Clock, ScheduledCall
 
 
 @dataclass(slots=True)
@@ -38,6 +40,10 @@ class Pacer(abc.ABC):
     Subclasses implement :meth:`_next_send_delay`, returning how long to
     wait before the head packet may be released (0 = immediately).
 
+    ``loop`` is any :class:`~repro.live.clock.Clock`: pacers schedule
+    their pump exclusively through the clock protocol, so the same
+    policy code paces a simulated link or a real UDP socket.
+
     The hierarchy is slotted (every subclass declares ``__slots__``) —
     pacer state is touched on every packet send.
     """
@@ -46,7 +52,7 @@ class Pacer(abc.ABC):
                  "_rtx_queue", "_queued_bytes", "_pump_event",
                  "_pacing_rate_bps")
 
-    def __init__(self, loop: EventLoop,
+    def __init__(self, loop: "Clock",
                  send_fn: Callable[[Packet], None]) -> None:
         self.loop = loop
         self.send_fn = send_fn
@@ -55,7 +61,7 @@ class Pacer(abc.ABC):
         self._media_queue: Deque[Packet] = deque()
         self._rtx_queue: Deque[Packet] = deque()
         self._queued_bytes = 0
-        self._pump_event: Optional[Event] = None
+        self._pump_event: Optional["ScheduledCall"] = None
         self._pacing_rate_bps = 1_000_000.0
 
     # ------------------------------------------------------------------

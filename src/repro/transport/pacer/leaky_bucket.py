@@ -8,11 +8,13 @@ strawman (the deprecated high-pacing-rate WebRTC setting).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.net.packet import Packet
-from repro.sim.events import EventLoop
 from repro.transport.pacer.base import Pacer
+
+if TYPE_CHECKING:
+    from repro.live.clock import Clock
 
 
 class LeakyBucketPacer(Pacer):
@@ -29,7 +31,7 @@ class LeakyBucketPacer(Pacer):
 
     __slots__ = ("pacing_factor", "max_queue_time_s", "_next_send_time")
 
-    def __init__(self, loop: EventLoop, send_fn: Callable[[Packet], None],
+    def __init__(self, loop: "Clock", send_fn: Callable[[Packet], None],
                  pacing_factor: float = 1.0,
                  max_queue_time_s: float | None = None) -> None:
         super().__init__(loop, send_fn)

@@ -9,12 +9,14 @@ a frame, whole frames burst out back-to-back.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.token_bucket import TokenBucket
 from repro.net.packet import DEFAULT_PAYLOAD_BYTES, Packet
-from repro.sim.events import EventLoop
 from repro.transport.pacer.base import Pacer
+
+if TYPE_CHECKING:
+    from repro.live.clock import Clock
 
 
 class TokenBucketPacer(Pacer):
@@ -23,7 +25,7 @@ class TokenBucketPacer(Pacer):
     __slots__ = ("min_bucket_bytes", "max_queue_time_s", "rate_factor",
                  "bucket", "on_frame_enqueued", "_bucket_size_log")
 
-    def __init__(self, loop: EventLoop, send_fn: Callable[[Packet], None],
+    def __init__(self, loop: "Clock", send_fn: Callable[[Packet], None],
                  initial_bucket_bytes: float = 30_000.0,
                  min_bucket_bytes: float = 2 * DEFAULT_PAYLOAD_BYTES,
                  rate_factor: float = 2.5,

@@ -9,11 +9,13 @@ metric in the evaluation is computed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.packet import Packet, PacketType
-from repro.sim.events import EventLoop
 from repro.transport.fec import FecDecoder
+
+if TYPE_CHECKING:
+    from repro.live.clock import Clock
 from repro.transport.feedback import DEFAULT_FEEDBACK_INTERVAL_S, FeedbackBuilder, FeedbackMessage
 from repro.transport.playout import PlayoutBuffer
 
@@ -51,9 +53,13 @@ class TransportReceiver:
 
     ``decode_time_fn`` supplies the decoder-model latency per frame
     (flat across complexity — the receiver never pays for ACE-C).
+
+    ``loop`` is any :class:`~repro.live.clock.Clock` — the sim
+    ``EventLoop`` or a live ``WallClock``; the receiver schedules only
+    through the clock protocol (feedback cadence, skip timers).
     """
 
-    def __init__(self, loop: EventLoop,
+    def __init__(self, loop: "Clock",
                  send_feedback_fn: Callable[[FeedbackMessage], None],
                  decode_time_fn: Callable[[], float],
                  feedback_interval: float = DEFAULT_FEEDBACK_INTERVAL_S,

@@ -1,0 +1,56 @@
+"""Smoke tests: every example imports and self-bootstraps its path.
+
+Each example is imported in a subprocess with PYTHONPATH scrubbed, so
+the test exercises the ``sys.path`` bootstrap guard the examples carry
+(``python examples/foo.py`` from a bare checkout must work). Importing
+with a module name other than ``__main__`` keeps ``main()`` from
+running — full runs take tens of seconds each and belong to the
+examples themselves, not the test suite.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+_IMPORT_SNIPPET = """\
+import importlib.util
+spec = importlib.util.spec_from_file_location("example_under_test", {path!r})
+module = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(module)
+import repro  # the example's guard must have made the package importable
+"""
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 7  # 6 sim examples + live_loopback
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_without_pythonpath(example: Path):
+    env = {k: v for k, v in os.environ.items()
+           if k not in ("PYTHONPATH", "PYTHONHOME")}
+    result = subprocess.run(
+        [sys.executable, "-c", _IMPORT_SNIPPET.format(path=str(example))],
+        capture_output=True, text=True, timeout=120, env=env,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed to import without PYTHONPATH:\n"
+        f"{result.stderr}")
+
+
+def test_example_guard_present_in_every_example():
+    for example in EXAMPLES:
+        text = example.read_text()
+        assert 'sys.path.insert' in text, (
+            f"{example.name} is missing the path bootstrap guard")
+        assert 'if __name__ == "__main__":' in text, (
+            f"{example.name} should only run main() when executed")

@@ -1,0 +1,183 @@
+"""Contract tests for the Clock abstraction (sim + wall implementations).
+
+Every Clock implementation must present the same scheduling surface —
+``now``, ``call_at``, ``call_later``, cancellable handles — with the
+ordering/monotonicity guarantees documented in ``repro.live.clock``.
+The sim implementations are tested deterministically; the WallClock
+tests use generous real-time tolerances so they stay stable on loaded
+CI machines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live.clock import Clock, ScheduledCall, SimClock, WallClock
+from repro.sim.events import EventLoop, SimulationError
+
+
+# ---------------------------------------------------------------------------
+# protocol conformance
+# ---------------------------------------------------------------------------
+def test_event_loop_satisfies_clock_protocol():
+    # The whole refactor rests on this: an EventLoop can be passed
+    # anywhere a Clock is expected, with zero adaptation cost.
+    assert isinstance(EventLoop(), Clock)
+
+
+def test_sim_clock_satisfies_clock_protocol():
+    assert isinstance(SimClock(), Clock)
+
+
+def test_wall_clock_satisfies_clock_protocol():
+    async def check():
+        assert isinstance(WallClock(asyncio.get_running_loop()), Clock)
+
+    asyncio.run(check())
+
+
+# ---------------------------------------------------------------------------
+# sim clock semantics
+# ---------------------------------------------------------------------------
+def test_sim_clock_equivalent_to_direct_loop_scheduling():
+    """Scheduling through SimClock produces the loop's own event objects."""
+    clock = SimClock()
+    fired = []
+    handle = clock.call_later(0.5, lambda: fired.append(clock.now))
+    assert isinstance(handle, ScheduledCall)
+    clock.call_at(0.25, lambda: fired.append(clock.now))
+    clock.run(until=1.0)
+    assert fired == [0.25, 0.5]
+    assert clock.now == 1.0
+
+
+def test_sim_clock_wraps_existing_loop():
+    loop = EventLoop()
+    clock = SimClock(loop)
+    fired = []
+    clock.call_later(1.0, lambda: fired.append(True))
+    # Scheduled straight onto the wrapped loop: running the loop itself
+    # (not the clock) fires it, and the clocks share one timebase.
+    loop.run(until=2.0)
+    assert fired == [True]
+    assert clock.now == loop.now == 2.0
+
+
+def test_sim_clock_cancellation():
+    clock = SimClock()
+    fired = []
+    handle = clock.call_later(0.1, lambda: fired.append("a"))
+    clock.call_later(0.2, lambda: fired.append("b"))
+    handle.cancel()
+    assert handle.cancelled
+    clock.run(until=1.0)
+    assert fired == ["b"]
+
+
+def test_sim_clock_equal_deadlines_fire_in_scheduling_order():
+    clock = SimClock()
+    fired = []
+    for tag in range(5):
+        clock.call_at(0.5, lambda t=tag: fired.append(t))
+    clock.run(until=1.0)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# wall clock semantics
+# ---------------------------------------------------------------------------
+def run_wall(coro_fn):
+    return asyncio.run(coro_fn())
+
+
+def test_wall_clock_now_starts_near_zero_and_advances():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        t0 = clock.now
+        assert 0.0 <= t0 < 0.1
+        await clock.sleep(0.05)
+        t1 = clock.now
+        assert t1 >= t0 + 0.045  # asyncio never wakes early
+
+    run_wall(check)
+
+
+def test_wall_clock_call_later_fires_no_earlier_than_deadline():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        fired = []
+        clock.call_later(0.05, lambda: fired.append(clock.now))
+        scheduled_at = clock.now
+        await clock.sleep(0.3)
+        assert len(fired) == 1
+        assert fired[0] >= scheduled_at + 0.045
+
+    run_wall(check)
+
+
+def test_wall_clock_call_at_consistent_with_now():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        fired = []
+        deadline = clock.now + 0.05
+        clock.call_at(deadline, lambda: fired.append(clock.now))
+        await clock.sleep(0.3)
+        assert len(fired) == 1
+        assert fired[0] >= deadline - 1e-9
+
+    run_wall(check)
+
+
+def test_wall_clock_clamps_past_deadlines():
+    """Divergence from EventLoop.call_at (which raises): wall clocks
+    treat a passed deadline as jitter and fire as soon as possible."""
+
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        fired = []
+        clock.call_at(clock.now - 1.0, lambda: fired.append(True))
+        clock.call_later(-1.0, lambda: fired.append(True))
+        await clock.sleep(0.1)
+        assert fired == [True, True]
+
+    run_wall(check)
+
+
+def test_wall_clock_cancellation():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        fired = []
+        handle = clock.call_later(0.05, lambda: fired.append("a"))
+        keep = clock.call_later(0.05, lambda: fired.append("b"))
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled
+        assert not keep.cancelled
+        await clock.sleep(0.2)
+        assert fired == ["b"]
+
+    run_wall(check)
+
+
+def test_wall_timer_repr_carries_name():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        handle = clock.call_later(1.0, lambda: None, "pacer.pump")
+        text = repr(handle)
+        handle.cancel()
+        assert "pacer.pump" in text
+
+    run_wall(check)
+
+
+# ---------------------------------------------------------------------------
+# sim clock call_at rejects the past (documented divergence)
+# ---------------------------------------------------------------------------
+def test_sim_clock_call_at_raises_on_past():
+    clock = SimClock()
+    clock.call_later(1.0, lambda: None)
+    clock.run(until=1.0)
+    with pytest.raises(SimulationError):
+        clock.call_at(0.5, lambda: None)

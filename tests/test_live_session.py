@@ -1,0 +1,203 @@
+"""Live-mode tests: the impairment shim and end-to-end UDP loopback runs.
+
+The session tests run the real stack on a wall clock for about a second
+each, so assertions are kept coarse (frames flowed, metrics populated,
+impairment visible) — exact timing belongs to the deterministic
+simulator tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live import (
+    ImpairmentConfig,
+    LiveConfig,
+    LoopbackImpairment,
+    UdpTransport,
+)
+from repro.live.clock import WallClock
+from repro.live.session import build_live_session, run_live
+from repro.net.packet import Packet
+from repro.net.trace import BandwidthTrace
+from repro.sim.rng import SeedSequenceFactory
+
+
+# ---------------------------------------------------------------------------
+# impairment shim (deterministic, no sockets)
+# ---------------------------------------------------------------------------
+def test_unshaped_impairment_is_propagation_only():
+    shim = LoopbackImpairment(ImpairmentConfig(base_rtt=0.04))
+    assert shim.admit(1200, now=0.0) == pytest.approx(0.02)
+    assert shim.admit(1200, now=5.0) == pytest.approx(0.02)
+    assert shim.delivered == 2 and shim.dropped == 0
+
+
+def test_shaped_impairment_serializes_back_to_back_packets():
+    trace = BandwidthTrace.constant(1e6, duration=100.0)  # 1 Mbps
+    shim = LoopbackImpairment(ImpairmentConfig(base_rtt=0.0), trace=trace)
+    # 1250 bytes at 1 Mbps = 10 ms on the wire.
+    first = shim.admit(1250, now=0.0)
+    second = shim.admit(1250, now=0.0)
+    assert first == pytest.approx(0.010)
+    assert second == pytest.approx(0.020)  # queued behind the first
+    # After the backlog clears, delay resets to one serialization.
+    third = shim.admit(1250, now=1.0)
+    assert third == pytest.approx(0.010)
+
+
+def test_impairment_drop_tail_queue_overflow():
+    trace = BandwidthTrace.constant(1e6, duration=100.0)
+    shim = LoopbackImpairment(
+        ImpairmentConfig(base_rtt=0.0, queue_capacity_bytes=3000),
+        trace=trace)
+    assert shim.admit(1250, now=0.0) is not None
+    assert shim.admit(1250, now=0.0) is not None
+    assert shim.queued_bytes == 2500
+    assert shim.admit(1250, now=0.0) is None  # 3750 > 3000: tail drop
+    assert shim.dropped == 1 and shim.delivered == 2
+
+
+def test_impairment_random_loss_uses_rng_stream():
+    shim = LoopbackImpairment(
+        ImpairmentConfig(random_loss_rate=1.0),
+        rng=SeedSequenceFactory(1).stream("path.loss"))
+    assert shim.admit(1200, now=0.0) is None
+    assert shim.dropped == 1
+
+    lossless = LoopbackImpairment(
+        ImpairmentConfig(random_loss_rate=0.0),
+        rng=SeedSequenceFactory(1).stream("path.loss"))
+    assert lossless.admit(1200, now=0.0) is not None
+
+
+def test_impairment_feedback_delay_is_reverse_propagation():
+    shim = LoopbackImpairment(ImpairmentConfig(base_rtt=0.05))
+    assert shim.feedback_delay == pytest.approx(0.025)
+
+
+# ---------------------------------------------------------------------------
+# UDP transport (sockets, no full stack)
+# ---------------------------------------------------------------------------
+def test_udp_transport_delivers_media_and_feedback():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        a = await UdpTransport.create(clock)
+        b = await UdpTransport.create(clock)
+        a.connect(b.local_addr)
+        b.connect(a.local_addr)
+
+        arrived = []
+        fed_back = []
+        b.on_arrival = arrived.append
+        a.on_feedback = fed_back.append
+        try:
+            a.send(Packet(size_bytes=600, seq=11, frame_id=3,
+                          frame_packet_index=0, frame_packet_count=1,
+                          t_leave_pacer=0.001))
+            from repro.transport.feedback import FeedbackMessage
+            b.send_feedback(FeedbackMessage(created_at=0.5, highest_seq=11))
+            await asyncio.sleep(0.2)
+        finally:
+            a.close()
+            b.close()
+
+        assert len(arrived) == 1
+        packet = arrived[0]
+        assert packet.seq == 11 and packet.frame_id == 3
+        assert packet.t_arrival is not None and packet.t_arrival >= 0
+        assert len(fed_back) == 1
+        assert fed_back[0].highest_seq == 11
+
+    asyncio.run(check())
+
+
+def test_udp_transport_impairment_drops_are_recorded():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        shim = LoopbackImpairment(
+            ImpairmentConfig(random_loss_rate=1.0),
+            rng=SeedSequenceFactory(1).stream("path.loss"))
+        a = await UdpTransport.create(clock, impairment=shim)
+        b = await UdpTransport.create(clock)
+        a.connect(b.local_addr)
+        b.connect(a.local_addr)
+        dropped = []
+        a.on_drop = dropped.append
+        try:
+            a.send(Packet(size_bytes=600, seq=1))
+            await asyncio.sleep(0.05)
+        finally:
+            a.close()
+            b.close()
+        assert len(a.dropped_packets) == 1
+        assert dropped and dropped[0].seq == 1
+
+    asyncio.run(check())
+
+
+# ---------------------------------------------------------------------------
+# end-to-end sessions (wall clock; ~1 s each)
+# ---------------------------------------------------------------------------
+def short_config(**kwargs) -> LiveConfig:
+    defaults = dict(duration=1.0, drain=0.3, seed=3)
+    defaults.update(kwargs)
+    return LiveConfig(**defaults)
+
+
+def test_live_session_end_to_end_clean_path():
+    config = short_config()
+    metrics = run_live("webrtc-star", config=config,
+                       trace=BandwidthTrace.constant(20e6, duration=12.0))
+
+    # ~30 frames captured in 1 s at 30 fps; allow generous jitter slack.
+    assert 20 <= len(metrics.frames) <= 40
+    displayed = [f for f in metrics.frames if f.displayed_at is not None]
+    assert len(displayed) >= 0.7 * len(metrics.frames)
+    assert metrics.packets_sent > 0
+    assert metrics.packets_lost == 0
+    # Real latency: at least the 15 ms one-way propagation, below 2 s.
+    p95 = metrics.p95_latency()
+    assert 0.015 < p95 < 2.0
+    assert metrics.bwe_history  # feedback made it back to the controller
+    assert metrics.send_events
+
+
+def test_live_session_impairment_shows_up_in_metrics():
+    config = short_config(random_loss_rate=0.3, seed=5)
+    session = build_live_session(
+        "webrtc-star", config,
+        trace=BandwidthTrace.constant(20e6, duration=12.0))
+    metrics = asyncio.run(session.run())
+
+    # 30% i.i.d. loss over hundreds of packets: drops are certain.
+    assert metrics.packets_lost > 0
+    assert session.impairment.dropped == metrics.packets_lost
+    assert metrics.loss_rate() > 0.05
+    # NACK-driven recovery kicked in.
+    assert metrics.packets_retransmitted > 0
+
+
+def test_live_session_runs_ace_stack():
+    metrics = run_live("ace", config=short_config(),
+                       trace=BandwidthTrace.constant(20e6, duration=12.0))
+    displayed = [f for f in metrics.frames if f.displayed_at is not None]
+    assert displayed
+    assert metrics.mean_vmaf() > 0
+
+
+def test_live_session_rejects_fec_baselines():
+    with pytest.raises(ValueError, match="FEC"):
+        run_live("ace-fec", config=short_config())
+
+
+def test_live_session_cannot_run_twice():
+    config = short_config(duration=0.3, drain=0.1)
+    session = build_live_session(
+        "webrtc-star", config,
+        trace=BandwidthTrace.constant(20e6, duration=12.0))
+    asyncio.run(session.run())
+    with pytest.raises(RuntimeError):
+        asyncio.run(session.run())
