@@ -1,0 +1,272 @@
+"""Seeded random-scenario fuzzing under the invariant auditor.
+
+Each fuzz *case* is a short simulated session whose workload — baseline,
+trace class, path impairments, timing — is derived deterministically
+from ``(root_seed, index)`` through the repo's named RNG streams, so any
+failure reproduces from two integers. The harness runs every case with a
+collecting :class:`~repro.audit.auditor.SessionAuditor` attached and, on
+a violation, *shrinks* the case: it greedily re-runs simplified variants
+(shorter, lossless, jitterless, constant-rate, ...) and keeps each
+simplification that still fails, ending at a minimal reproducible case.
+
+CLI::
+
+    python -m repro fuzz --cases 20 --seed 1      # exit 1 on violation
+    python -m repro fuzz --replay 1:7             # re-run one case
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.audit.auditor import SessionAuditor, Violation, attach_audit
+from repro.net.trace import (
+    BandwidthTrace,
+    make_4g_trace,
+    make_5g_trace,
+    make_campus_wifi_trace,
+    make_weak_network_trace,
+    make_wifi_trace,
+)
+from repro.rtc.baselines import build_session
+from repro.rtc.session import SessionConfig
+from repro.sim.rng import RngStream
+
+#: Baselines worth fuzzing: both ACE variants (the control laws under
+#: test), the token-bucket extremes, and the frame-paced outlier.
+FUZZ_BASELINES = ("ace", "ace-n", "webrtc-star", "always-burst", "salsify",
+                  "always-pace")
+
+FUZZ_TRACES = ("wifi", "4g", "5g", "campus", "const:2", "const:6",
+               "weak:canteen", "weak:airport")
+
+_TRACE_MAKERS = {
+    "wifi": make_wifi_trace,
+    "4g": make_4g_trace,
+    "5g": make_5g_trace,
+    "campus": make_campus_wifi_trace,
+}
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One randomized scenario, fully determined by its fields."""
+
+    root_seed: int
+    index: int
+    baseline: str
+    trace_kind: str
+    duration: float
+    base_rtt: float
+    queue_capacity_bytes: int
+    random_loss_rate: float
+    contention_loss_rate: float
+    delay_jitter_std: float
+    cross_traffic: bool
+    audio: bool
+
+    @property
+    def label(self) -> str:
+        return f"{self.root_seed}:{self.index}"
+
+    def describe(self) -> str:
+        extras = []
+        if self.random_loss_rate:
+            extras.append(f"loss={self.random_loss_rate:.3f}")
+        if self.contention_loss_rate:
+            extras.append(f"contention={self.contention_loss_rate:.2f}")
+        if self.delay_jitter_std:
+            extras.append(f"jitter={self.delay_jitter_std * 1000:.1f}ms")
+        if self.cross_traffic:
+            extras.append("cross")
+        if self.audio:
+            extras.append("audio")
+        tail = (", " + ", ".join(extras)) if extras else ""
+        return (f"[{self.label}] {self.baseline} over {self.trace_kind} "
+                f"({self.duration:.1f}s, rtt {self.base_rtt * 1000:.0f}ms, "
+                f"queue {self.queue_capacity_bytes // 1000}KB{tail})")
+
+
+def case_from_seed(root_seed: int, index: int) -> FuzzCase:
+    """Derive case ``index`` of the ``root_seed`` fuzz run, stably."""
+    rng = RngStream(root_seed, f"audit.fuzz.{index}")
+    baseline = str(rng.choice(FUZZ_BASELINES))
+    trace_kind = str(rng.choice(FUZZ_TRACES))
+    # Short sessions: the invariants are per-event, so violations show up
+    # within a few seconds of simulated time; breadth beats depth.
+    duration = round(rng.uniform(1.5, 4.0), 2)
+    base_rtt = float(rng.choice((0.01, 0.03, 0.08, 0.16)))
+    queue = int(rng.choice((25_000, 100_000, 400_000)))
+    loss = float(rng.choice((0.0, 0.0, 0.01, 0.05)))
+    contention = float(rng.choice((0.0, 0.0, 0.0, 0.3)))
+    jitter = float(rng.choice((0.0, 0.0, 0.001, 0.003)))
+    cross = bool(rng.random() < 0.25)
+    audio = bool(rng.random() < 0.25)
+    return FuzzCase(
+        root_seed=root_seed, index=index, baseline=baseline,
+        trace_kind=trace_kind, duration=duration, base_rtt=base_rtt,
+        queue_capacity_bytes=queue, random_loss_rate=loss,
+        contention_loss_rate=contention, delay_jitter_std=jitter,
+        cross_traffic=cross, audio=audio,
+    )
+
+
+def build_case_trace(case: FuzzCase) -> BandwidthTrace:
+    kind = case.trace_kind
+    trace_duration = case.duration + 5.0
+    if kind.startswith("const:"):
+        mbps = float(kind.split(":", 1)[1])
+        return BandwidthTrace.constant(mbps * 1e6, duration=trace_duration)
+    rng = RngStream(case.root_seed, f"audit.fuzz.trace.{case.index}.{kind}")
+    if kind.startswith("weak:"):
+        return make_weak_network_trace(rng, duration=trace_duration,
+                                       venue=kind.split(":", 1)[1])
+    return _TRACE_MAKERS[kind](rng, duration=trace_duration)
+
+
+def run_case(case: FuzzCase,
+             max_violations: int = 20) -> Tuple[List[Violation], int]:
+    """Run one case under a collecting auditor.
+
+    Returns ``(violations, events_checked)``.
+    """
+    config = SessionConfig(
+        duration=case.duration,
+        seed=case.root_seed * 1_000_003 + case.index,
+        base_rtt=case.base_rtt,
+        queue_capacity_bytes=case.queue_capacity_bytes,
+        random_loss_rate=case.random_loss_rate,
+        contention_loss_rate=case.contention_loss_rate,
+        delay_jitter_std=case.delay_jitter_std,
+        cross_traffic=case.cross_traffic,
+        audio=case.audio,
+    )
+    session = build_session(case.baseline, build_case_trace(case), config)
+    auditor = attach_audit(session, strict=False,
+                           max_violations=max_violations)
+    session.run()
+    return auditor.finalize(), auditor.events_checked
+
+
+#: Greedy shrink moves, most-simplifying first. Each is kept only if the
+#: simplified case still fails.
+_SHRINK_MOVES: Tuple[Tuple[str, dict], ...] = (
+    ("shorten to 1.5s", {"duration": 1.5}),
+    ("drop cross traffic", {"cross_traffic": False}),
+    ("drop audio", {"audio": False}),
+    ("remove random loss", {"random_loss_rate": 0.0}),
+    ("remove contention loss", {"contention_loss_rate": 0.0}),
+    ("remove jitter", {"delay_jitter_std": 0.0}),
+    ("constant 3 Mbps trace", {"trace_kind": "const:3"}),
+    ("default 30ms RTT", {"base_rtt": 0.03}),
+    ("default 100KB queue", {"queue_capacity_bytes": 100_000}),
+)
+
+
+def shrink(case: FuzzCase,
+           fails: Optional[Callable[[FuzzCase], bool]] = None) -> FuzzCase:
+    """Greedily simplify a failing case while it keeps failing.
+
+    ``fails`` is injectable for tests; the default re-runs the case under
+    the auditor and reports whether any violation was found.
+    """
+    if fails is None:
+        def fails(c: FuzzCase) -> bool:
+            return bool(run_case(c)[0])
+    current = case
+    for _label, fields in _SHRINK_MOVES:
+        if all(getattr(current, k) == v for k, v in fields.items()):
+            continue
+        candidate = dataclasses.replace(current, **fields)
+        if fails(candidate):
+            current = candidate
+    return current
+
+
+@dataclass
+class FuzzFailure:
+    case: FuzzCase
+    shrunk: FuzzCase
+    violations: List[Violation]
+
+
+@dataclass
+class FuzzResult:
+    cases_run: int
+    events_checked: int
+    failures: List[FuzzFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fuzz(num_cases: int, root_seed: int = 1, start_index: int = 0,
+         do_shrink: bool = True,
+         on_progress: Optional[Callable[[FuzzCase, List[Violation]], None]]
+         = None) -> FuzzResult:
+    """Run ``num_cases`` seeded scenarios under the auditor."""
+    failures: List[FuzzFailure] = []
+    events_total = 0
+    for index in range(start_index, start_index + num_cases):
+        case = case_from_seed(root_seed, index)
+        violations, events = run_case(case)
+        events_total += events
+        if on_progress is not None:
+            on_progress(case, violations)
+        if violations:
+            shrunk = shrink(case) if do_shrink else case
+            failures.append(FuzzFailure(case, shrunk, violations))
+    return FuzzResult(cases_run=num_cases, events_checked=events_total,
+                      failures=failures)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """``python -m repro fuzz`` entry point (also callable directly)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="randomized invariant-audited sessions")
+    parser.add_argument("--cases", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--start", type=int, default=0,
+                        help="first case index (resume a sweep)")
+    parser.add_argument("--no-shrink", action="store_true")
+    parser.add_argument("--replay", default=None, metavar="SEED:INDEX",
+                        help="re-run one case, e.g. --replay 1:7")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        seed_s, _, index_s = args.replay.partition(":")
+        case = case_from_seed(int(seed_s), int(index_s or "0"))
+        print(case.describe())
+        violations, events = run_case(case)
+        print(f"{events} events checked, {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v}")
+        return 1 if violations else 0
+
+    def progress(case: FuzzCase, violations: List[Violation]) -> None:
+        status = "FAIL" if violations else "ok"
+        print(f"{status:>4}  {case.describe()}")
+
+    result = fuzz(args.cases, root_seed=args.seed, start_index=args.start,
+                  do_shrink=not args.no_shrink, on_progress=progress)
+    print(f"\n{result.cases_run} cases, {result.events_checked} events "
+          f"checked, {len(result.failures)} failing")
+    for failure in result.failures:
+        print(f"\nfailing case {failure.case.describe()}")
+        for v in failure.violations[:10]:
+            print(f"  {v}")
+        print(f"shrunk to {failure.shrunk.describe()}")
+        print(f"replay: python -m repro fuzz --replay {failure.case.label}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

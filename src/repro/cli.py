@@ -113,6 +113,8 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.check:
+        return _cmd_run_checked(args)
     runner = make_runner(args)
     [metrics] = runner.run([make_task(args.baseline, args)])
     if runner.cache is not None:
@@ -125,6 +127,45 @@ def cmd_run(args: argparse.Namespace) -> int:
                 ["component", "ms"],
                 [[k, fmt_ms(v)] for k, v in breakdown.items()])
     return 0
+
+
+def _cmd_run_checked(args: argparse.Namespace) -> int:
+    """``repro run --check``: run in-process under the invariant auditor.
+
+    Bypasses the parallel runner and the result cache — the auditor must
+    attach to the live session object, and a cache hit would audit
+    nothing.
+    """
+    from repro.audit import attach_audit
+
+    trace = make_trace(args.trace, args.seed, args.duration + 10)
+    config = SessionConfig(
+        duration=args.duration, seed=args.seed, fps=args.fps,
+        base_rtt=args.rtt / 1000.0, initial_bwe_bps=args.initial_bwe * 1e6,
+    )
+    session = build_session(args.baseline, trace, config,
+                            category=args.category,
+                            cc_override=args.cc, codec_override=args.codec)
+    auditor = attach_audit(session, strict=False)
+    metrics = session.run()
+    violations = auditor.finalize()
+    print_table(f"{args.baseline} over {args.trace} "
+                f"({args.duration:.0f}s, {args.category}, audited)",
+                HEADERS, [metrics_row(args.baseline, metrics)])
+    print(auditor.report())
+    return 1 if violations else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.audit.fuzz import main as fuzz_main
+
+    argv = ["--cases", str(args.cases), "--seed", str(args.seed),
+            "--start", str(args.start)]
+    if args.no_shrink:
+        argv.append("--no-shrink")
+    if args.replay is not None:
+        argv += ["--replay", args.replay]
+    return fuzz_main(argv)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -189,6 +230,7 @@ def cmd_live(args: argparse.Namespace) -> int:
         random_loss_rate=args.loss,
         queue_capacity_bytes=args.queue,
         shaped=not args.unshaped,
+        audit=args.check,
     )
     session = build_live_session(args.baseline, config, trace=trace,
                                  category=args.category)
@@ -207,6 +249,10 @@ def cmd_live(args: argparse.Namespace) -> int:
     print(f"impairment: {shim.delivered} datagrams delivered, "
           f"{shim.dropped} dropped; "
           f"{metrics.packets_retransmitted} retransmissions")
+    if session.auditor is not None:
+        print(session.auditor.report())
+        if session.auditor.violations:
+            return 1
     return 0
 
 
@@ -265,8 +311,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one baseline")
     p_run.add_argument("--baseline", required=True)
+    p_run.add_argument("--check", action="store_true",
+                       help="attach the invariant auditor; exit 1 on any "
+                            "violation (disables --jobs/--cache)")
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="randomized short sessions under the invariant auditor")
+    p_fuzz.add_argument("--cases", type=int, default=10)
+    p_fuzz.add_argument("--seed", type=int, default=1)
+    p_fuzz.add_argument("--start", type=int, default=0,
+                        help="first case index (resume a sweep)")
+    p_fuzz.add_argument("--no-shrink", action="store_true")
+    p_fuzz.add_argument("--replay", default=None, metavar="SEED:INDEX",
+                        help="re-run one case, e.g. --replay 1:7")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_cmp = sub.add_parser("compare", help="run several baselines on one workload")
     p_cmp.add_argument("--baselines", required=True,
@@ -319,6 +380,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(CONTENT_CATEGORIES))
     p_live.add_argument("--unshaped", action="store_true",
                         help="skip trace shaping (delay/loss still apply)")
+    p_live.add_argument("--check", action="store_true",
+                        help="attach the polling invariant auditor; exit 1 "
+                             "on any violation")
     p_live.set_defaults(func=cmd_live)
 
     p_sc = sub.add_parser("scenario",

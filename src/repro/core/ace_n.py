@@ -57,6 +57,14 @@ class AceNConfig:
     #: guard so one overflow episode, reported across several feedback
     #: batches, does not collapse the bucket to the floor).
     min_halve_interval_s: float = 0.06
+    #: Per-halving decay of the "bucket last seen with an empty buffer"
+    #: ratchet. The ratchet otherwise only grows, so after a capacity
+    #: drop fast recovery would jump to a bucket from the old
+    #: high-capacity regime; decaying it on each applied loss-halve
+    #: forgets that regime geometrically (one loss still recovers to
+    #: ~decay x the pre-loss level, sustained losses converge to the new
+    #: regime). 0 < decay < 1.
+    empty_ratchet_decay: float = 0.8
     #: Token-rate factor range for the burstiness level: with a healthy
     #: (large) bucket the pacer drains at up to ``max_rate_factor`` x BWE
     #: (WebRTC's CC stack paces at 2.5x the target for the same reason);
@@ -218,3 +226,11 @@ class AceNController:
             return
         self._last_halve_at = now
         self._set_bucket(self._bucket_bytes / 2.0, now, est_queue, "loss-halve")
+        # A loss is evidence the regime the empty-buffer ratchet was
+        # learned in may no longer hold: decay it (never below the
+        # post-halve bucket) so fast recovery cannot keep jumping to a
+        # stale high-capacity value.
+        if self._bucket_when_empty is not None:
+            self._bucket_when_empty = max(
+                self._bucket_bytes,
+                self.config.empty_ratchet_decay * self._bucket_when_empty)

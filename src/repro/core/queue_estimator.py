@@ -124,9 +124,15 @@ class QueueEstimator:
         return delay * self.capacity_bps() / 8.0
 
     def queue_is_empty(self) -> bool:
-        """True when the standing RTT has returned to the propagation floor."""
+        """True when the standing RTT has returned to the propagation floor.
+
+        Requires *evidence*: with no RTT samples in the recent window
+        (feedback silence, or every sample aged out) the buffer state is
+        unknown, not empty — answering True on silence would let ACE-N's
+        fast recovery fire with zero signal.
+        """
         standing = self.rtt_standing()
         if standing is None or self._rtt_min is None:
-            return True
+            return False
         # Within half a serialization-ish jitter margin of the floor.
         return (standing - self._rtt_min) < 0.002

@@ -49,9 +49,16 @@ class TokenBucket:
         return self._rate_bps
 
     def set_rate(self, rate_bps: float, now: float) -> None:
-        """Change the token rate (refills at the old rate up to ``now`` first)."""
+        """Change the token rate (refills at the old rate up to ``now`` first).
+
+        Rejects non-positive rates exactly like the constructor — a
+        silent floor here would let a miscomputed rate masquerade as a
+        (glacial) 1 bps pacer instead of failing loudly.
+        """
+        if rate_bps <= 0:
+            raise ValueError("token rate must be positive")
         self._refill(now)
-        self._rate_bps = max(rate_bps, 1.0)
+        self._rate_bps = rate_bps
 
     @property
     def bucket_bytes(self) -> float:

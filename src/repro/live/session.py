@@ -61,6 +61,12 @@ class LiveConfig:
     #: shape traffic to ``trace``; False = unshaped loopback (delay/loss
     #: still apply).
     shaped: bool = True
+    #: attach a polling invariant auditor (``repro live --check``). Wall
+    #: clocks have no per-event hook, so the auditor samples state every
+    #: ``audit_interval_s``; violations are collected on the session's
+    #: ``auditor`` and surfaced by the caller.
+    audit: bool = False
+    audit_interval_s: float = 0.05
 
 
 class LiveSession:
@@ -90,6 +96,8 @@ class LiveSession:
         self.sender: Optional[Sender] = None
         self.receiver: Optional[TransportReceiver] = None
         self.impairment: Optional[LoopbackImpairment] = None
+        #: populated by run() when ``config.audit`` is set.
+        self.auditor = None
 
     # ------------------------------------------------------------------
     # run
@@ -160,6 +168,16 @@ class LiveSession:
         send_end.on_feedback = sender.on_feedback
         send_end.on_drop = lambda packet: None  # counted by the transport
 
+        if config.audit:
+            from repro.audit.auditor import SessionAuditor
+            # The emulated forward delay plus the honest reverse estimate
+            # keeps measured RTTs at or above base_rtt even on a wall
+            # clock (real time only ever adds delay).
+            self.auditor = SessionAuditor(
+                clock, pacer, ace_n=ace_n, cc=cc,
+                rtt_floor=config.base_rtt,
+            ).attach_polling(config.audit_interval_s)
+
         sender.start()
         receiver.start()
         try:
@@ -172,6 +190,8 @@ class LiveSession:
             recv_end.close()
         display_sync.sync()
         self._finished = True
+        if self.auditor is not None:
+            self.auditor.finalize()
         return self._collect(send_end)
 
     def _collect(self, send_end: UdpTransport) -> SessionMetrics:

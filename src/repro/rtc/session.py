@@ -9,6 +9,7 @@ stack — the shared construction helpers live here.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -230,9 +231,20 @@ class RtcSession:
     # run
     # ------------------------------------------------------------------
     def run(self) -> SessionMetrics:
-        """Execute the session and aggregate metrics."""
+        """Execute the session and aggregate metrics.
+
+        With ``REPRO_AUDIT=1`` in the environment a strict
+        :class:`~repro.audit.auditor.SessionAuditor` rides along and
+        raises at the first invariant violation (the env var reaches
+        :class:`~repro.bench.parallel.ParallelRunner` workers too, so
+        whole grids can run self-checking).
+        """
         if self._finished:
             raise RuntimeError("session already ran; build a new one")
+        auditor = None
+        if os.environ.get("REPRO_AUDIT", "") not in ("", "0"):
+            from repro.audit.auditor import attach_audit
+            auditor = attach_audit(self, strict=True)
         # Receiver must know frame metadata as frames are captured; hook
         # the sender's metrics dict in lazily via a periodic sync.
         self.receiver.frame_capture_time = _CaptureTimeView(self.sender)
@@ -249,6 +261,8 @@ class RtcSession:
         self.loop.run(until=self.config.duration + 0.5)
         self._display_sync.sync()
         self._finished = True
+        if auditor is not None:
+            auditor.finalize()
         return self._collect()
 
     def _collect(self) -> SessionMetrics:

@@ -53,13 +53,17 @@ class TokenBucketPacer(Pacer):
     # ------------------------------------------------------------------
     # control surface
     # ------------------------------------------------------------------
-    def set_pacing_rate(self, rate_bps: float) -> None:
-        super().set_pacing_rate(rate_bps)
+    def _token_rate(self) -> float:
+        """Token rate the valve law prescribes for the current backlog."""
         token_rate = self.pacing_rate_bps * self.rate_factor
         if self.max_queue_time_s is not None:
             token_rate = max(token_rate,
                              self.queued_bytes * 8 / self.max_queue_time_s)
-        self.bucket.set_rate(token_rate, self.loop.now)
+        return token_rate
+
+    def set_pacing_rate(self, rate_bps: float) -> None:
+        super().set_pacing_rate(rate_bps)
+        self.bucket.set_rate(self._token_rate(), self.loop.now)
         # Rate changes can unblock the head packet sooner.
         self._schedule_pump(0.0)
 
@@ -91,7 +95,15 @@ class TokenBucketPacer(Pacer):
         # bucket; treat the bucket as drained in that case.
         if not self.bucket.consume(packet.size_bytes, self.loop.now):
             self.bucket.consume(self.bucket.tokens(self.loop.now), self.loop.now)
+        if self.max_queue_time_s is not None:
+            # The valve inflates the token rate with the backlog, so the
+            # rate must deflate as the backlog drains — holding the
+            # inflated rate until the CCA's next update would burst
+            # above what ACE-N intended after the queue empties.
+            self.bucket.set_rate(self._token_rate(), self.loop.now)
 
     def on_enqueue(self, packets: list[Packet]) -> None:
+        if self.max_queue_time_s is not None:
+            self.bucket.set_rate(self._token_rate(), self.loop.now)
         if self.on_frame_enqueued is not None and packets:
             self.on_frame_enqueued(packets)

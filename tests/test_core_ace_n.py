@@ -138,6 +138,60 @@ class TestFastRecovery:
         assert ctrl.bucket_bytes <= 110_000
 
 
+class TestEmptyRatchetDecay:
+    """Regression: ``_bucket_when_empty`` only ever grew, so after a
+    capacity drop fast recovery kept jumping back to a bucket size from
+    the old high-capacity regime."""
+
+    def test_ratchet_decays_on_loss_halve(self):
+        ctrl = make_controller(initial_bucket_bytes=100_000,
+                               empty_ratchet_decay=0.8)
+        ctrl.on_frame_enqueued(1_000_000)
+        t, seq = drive_clean(ctrl, rounds=2)
+        ratchet = ctrl._bucket_when_empty
+        assert ratchet is not None
+        ctrl.on_feedback(message(t, owds=(0.06, 0.06), nacks=[seq],
+                                 start_seq=seq), now=t, reverse_delay=0.01)
+        halved = ctrl.bucket_bytes
+        assert ctrl._bucket_when_empty == pytest.approx(
+            max(halved, 0.8 * ratchet))
+
+    def test_repeated_losses_forget_the_old_regime(self):
+        """Sustained losses (a capacity drop) must decay the ratchet
+        geometrically instead of pinning it at the old regime's value."""
+        ctrl = make_controller(initial_bucket_bytes=400_000,
+                               empty_ratchet_decay=0.8,
+                               min_halve_interval_s=0.06)
+        ctrl.on_frame_enqueued(1_000_000)
+        t, seq = drive_clean(ctrl, rounds=2)
+        old_ratchet = ctrl._bucket_when_empty
+        # Losses arrive with a standing queue (never empty), so nothing
+        # refreshes the ratchet upward between halvings.
+        for i in range(5):
+            ctrl.on_feedback(message(t, owds=(0.08, 0.08), nacks=[seq],
+                                     start_seq=seq), now=t,
+                             reverse_delay=0.01)
+            t += 0.2
+            seq += 10
+        assert ctrl._bucket_when_empty < 0.5 * old_ratchet
+
+    def test_fast_recovery_still_fires_after_decay(self):
+        """The decay must not break recovery itself (the ratchet stays at
+        or above the post-halve bucket)."""
+        ctrl = make_controller(initial_bucket_bytes=80_000, alpha=0.8)
+        ctrl.on_frame_enqueued(1_000_000)
+        t, seq = drive_clean(ctrl, rounds=3)
+        ctrl.on_feedback(message(t, owds=(0.10, 0.10), nacks=[seq + 1],
+                                 start_seq=seq), now=t, reverse_delay=0.01)
+        halved = ctrl.bucket_bytes
+        assert ctrl._bucket_when_empty >= halved
+        t += 0.2
+        ctrl.on_feedback(message(t, owds=(0.02, 0.02), start_seq=seq + 10),
+                         now=t, reverse_delay=0.01)
+        assert ctrl.bucket_bytes > halved
+        assert "fast-recovery" in [d.reason for d in ctrl.decisions]
+
+
 class TestRateFactor:
     def test_interpolates_between_pace_and_burst(self):
         ctrl = make_controller(initial_bucket_bytes=30_000,

@@ -99,6 +99,40 @@ def test_capacity_from_packet_pairs():
     assert est.capacity_bps() == pytest.approx(20e6, rel=0.05)
 
 
+class TestQueueIsEmptyNeedsEvidence:
+    """Regression: feedback silence is not an empty buffer (it used to
+    return True with zero RTT samples, letting ACE-N's fast recovery
+    fire with no signal)."""
+
+    def test_unknown_before_any_samples(self):
+        est = QueueEstimator()
+        assert not est.queue_is_empty()
+
+    def test_unknown_after_window_ages_out(self):
+        est = QueueEstimator(standing_window_s=0.1)
+        t, seq = feed_steady(est)
+        assert est.queue_is_empty()
+        # A long feedback silence ages every sample out of the window:
+        # the estimator keeps its RTT floor but loses current evidence.
+        silence = FeedbackMessage(created_at=t + 5.0, reports=[],
+                                  highest_seq=seq)
+        est.on_feedback(silence, now=t + 5.0, reverse_delay=0.01)
+        assert est.rtt_standing() is None
+        assert est.rtt_min is not None
+        assert not est.queue_is_empty()
+
+    def test_empty_again_once_samples_return(self):
+        est = QueueEstimator(standing_window_s=0.1)
+        t, seq = feed_steady(est)
+        silence = FeedbackMessage(created_at=t + 5.0, reports=[],
+                                  highest_seq=seq)
+        est.on_feedback(silence, now=t + 5.0, reverse_delay=0.01)
+        reports = reports_with_owd(seq, t + 5.0, [0.02, 0.02])
+        est.on_feedback(message(reports, t + 5.05), now=t + 5.05,
+                        reverse_delay=0.01)
+        assert est.queue_is_empty()
+
+
 def test_estimates_history_recorded():
     est = QueueEstimator()
     feed_steady(est, rounds=3)

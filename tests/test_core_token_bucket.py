@@ -79,6 +79,19 @@ def test_invalid_parameters():
         TokenBucket(rate_bps=1e6, bucket_bytes=0)
 
 
+def test_set_rate_rejects_non_positive():
+    """Regression: set_rate silently floored to 1 bps while the
+    constructor raised — both paths must reject the same inputs."""
+    tb = TokenBucket(rate_bps=1e6, bucket_bytes=10_000, now=0.0)
+    with pytest.raises(ValueError):
+        tb.set_rate(0.0, now=1.0)
+    with pytest.raises(ValueError):
+        tb.set_rate(-5.0, now=1.0)
+    assert tb.rate_bps == 1e6  # rejected calls leave the rate untouched
+    tb.set_rate(2e6, now=1.0)
+    assert tb.rate_bps == 2e6
+
+
 def test_time_never_flows_backwards():
     tb = TokenBucket(rate_bps=8e6, bucket_bytes=10_000, initial_fill=0.0, now=1.0)
     tb.tokens(2.0)
