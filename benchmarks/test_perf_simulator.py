@@ -91,6 +91,27 @@ def test_perf_full_session_throughput(benchmark):
     assert frames >= 145
 
 
+def test_perf_full_session_telemetry_on(benchmark):
+    """Telemetry-enabled twin of the session-throughput bench.
+
+    ``scripts/check_perf.py`` compares this bench against
+    ``test_perf_full_session_throughput`` *from the same run* and fails
+    when full instrumentation (spans + sampled gauges + event log)
+    costs more than the allowed overhead factor — a machine-independent
+    gate, unlike the absolute baseline snapshot.
+    """
+    trace = BandwidthTrace.constant(20e6, duration=20.0)
+
+    def run_session():
+        cfg = SessionConfig(duration=5.0, seed=3, initial_bwe_bps=8e6)
+        session = build_session("ace", trace, cfg)
+        session.enable_telemetry()
+        return len(session.run().frames)
+
+    frames = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert frames >= 145
+
+
 def test_perf_trace_rate_lookup(benchmark):
     """Sequential ``rate_at`` throughput on a *varying* trace.
 

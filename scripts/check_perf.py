@@ -27,6 +27,13 @@ DEFAULT_SNAPSHOT = Path(__file__).resolve().parent.parent / \
     "BENCH_perf_simulator.json"
 DEFAULT_THRESHOLD = 1.5
 
+#: telemetry-overhead gate: the instrumented session bench is compared
+#: against its telemetry-off twin from the *same run* (machine-
+#: independent, unlike the absolute snapshot comparison).
+TELEMETRY_BENCH = "test_perf_full_session_telemetry_on"
+TELEMETRY_BASE_BENCH = "test_perf_full_session_throughput"
+DEFAULT_TELEMETRY_OVERHEAD = 1.5
+
 
 def load_mins(bench_json: Path) -> dict[str, float]:
     """Per-bench minimum seconds from a pytest-benchmark dump."""
@@ -42,6 +49,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="fail when min time exceeds baseline x this "
                              f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--telemetry-overhead", type=float,
+                        default=DEFAULT_TELEMETRY_OVERHEAD,
+                        dest="telemetry_overhead",
+                        help="fail when the telemetry-on session bench "
+                             "exceeds the telemetry-off one by more than "
+                             f"this factor (default "
+                             f"{DEFAULT_TELEMETRY_OVERHEAD})")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the snapshot from bench_json and exit")
     args = parser.parse_args(argv)
@@ -79,6 +93,16 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(name)
     for name in sorted(set(current) - set(baseline)):
         print(f"  new  {name}: {current[name] * 1e3:.2f} ms (no baseline)")
+
+    if TELEMETRY_BENCH in current and TELEMETRY_BASE_BENCH in current:
+        ratio = current[TELEMETRY_BENCH] / current[TELEMETRY_BASE_BENCH]
+        status = "FAIL" if ratio > args.telemetry_overhead else "ok"
+        print(f"  {status:>4} telemetry overhead: "
+              f"{current[TELEMETRY_BENCH] * 1e3:.2f} ms on vs "
+              f"{current[TELEMETRY_BASE_BENCH] * 1e3:.2f} ms off "
+              f"({ratio:.2f}x, limit {args.telemetry_overhead}x)")
+        if ratio > args.telemetry_overhead:
+            failures.append("telemetry-overhead")
 
     if failures:
         print(f"check_perf: {len(failures)} regression(s) beyond "

@@ -63,6 +63,9 @@ class Violation:
     time: float
     invariant: str
     detail: str
+    #: flight-recorder dump (last N telemetry records before the breach)
+    #: when the session ran with telemetry enabled; None otherwise.
+    flight_dump: Optional[str] = None
 
     def __str__(self) -> str:
         return f"[t={self.time:.6f}] {self.invariant}: {self.detail}"
@@ -72,7 +75,11 @@ class InvariantViolation(AssertionError):
     """Raised in strict mode at the event where the invariant broke."""
 
     def __init__(self, violation: Violation) -> None:
-        super().__init__(str(violation))
+        message = str(violation)
+        if violation.flight_dump:
+            message += ("\n--- flight recorder (last records before the "
+                        "violation) ---\n" + violation.flight_dump)
+        super().__init__(message)
         self.violation = violation
 
 
@@ -117,8 +124,12 @@ class SessionAuditor:
                  rtt_floor: Optional[float] = None,
                  strict: bool = True,
                  fine_grained: bool = True,
-                 max_violations: int = 50) -> None:
+                 max_violations: int = 50,
+                 telemetry=None) -> None:
         self.clock = clock
+        #: optional :class:`repro.obs.Telemetry`; when set, each violation
+        #: captures a flight-recorder dump of the records leading up to it.
+        self.telemetry = telemetry
         self.pacer = pacer
         self.link = link
         self.path = path
@@ -308,6 +319,8 @@ class SessionAuditor:
         if self._saturated:
             return
         violation = Violation(float(self.clock.now), invariant, detail)
+        if self.telemetry is not None:
+            violation.flight_dump = self.telemetry.flight_dump()
         self.violations.append(violation)
         if self.strict:
             raise InvariantViolation(violation)
@@ -616,6 +629,12 @@ class SessionAuditor:
         lines += [f"  {v}" for v in self.violations[:20]]
         if len(self.violations) > 20:
             lines.append(f"  ... and {len(self.violations) - 20} more")
+        first_dump = next((v.flight_dump for v in self.violations
+                           if v.flight_dump), None)
+        if first_dump:
+            lines.append("flight recorder (last records before the first "
+                         "violation):")
+            lines += [f"  {line}" for line in first_dump.splitlines()]
         return "\n".join(lines)
 
 
@@ -637,5 +656,6 @@ def attach_audit(session, strict: bool = True,
         rtt_floor=session.config.base_rtt,
         strict=strict,
         max_violations=max_violations,
+        telemetry=getattr(session, "telemetry", None),
     )
     return auditor.attach()

@@ -130,8 +130,13 @@ def run_case(case: FuzzCase,
              max_violations: int = 20) -> Tuple[List[Violation], int]:
     """Run one case under a collecting auditor.
 
-    Returns ``(violations, events_checked)``.
+    The session runs with flight-recorder-only telemetry (the full event
+    log is not kept — fuzzing runs thousands of frames), so every
+    violation carries a :attr:`Violation.flight_dump` of the records
+    leading up to it. Returns ``(violations, events_checked)``.
     """
+    from repro.obs import Telemetry
+
     config = SessionConfig(
         duration=case.duration,
         seed=case.root_seed * 1_000_003 + case.index,
@@ -144,6 +149,7 @@ def run_case(case: FuzzCase,
         audio=case.audio,
     )
     session = build_session(case.baseline, build_case_trace(case), config)
+    session.enable_telemetry(Telemetry(keep_events=False))
     auditor = attach_audit(session, strict=False,
                            max_violations=max_violations)
     session.run()
@@ -191,6 +197,12 @@ class FuzzFailure:
     shrunk: FuzzCase
     violations: List[Violation]
 
+    @property
+    def flight_dump(self) -> Optional[str]:
+        """Flight-recorder dump from the first violation carrying one."""
+        return next((v.flight_dump for v in self.violations
+                     if v.flight_dump), None)
+
 
 @dataclass
 class FuzzResult:
@@ -218,6 +230,13 @@ def fuzz(num_cases: int, root_seed: int = 1, start_index: int = 0,
             on_progress(case, violations)
         if violations:
             shrunk = shrink(case) if do_shrink else case
+            if shrunk != case:
+                # Re-run the shrunk reproduction so the reported
+                # violations (and their flight dumps) describe the
+                # minimal case, not the original.
+                rerun, _ = run_case(shrunk)
+                if rerun:
+                    violations = rerun
             failures.append(FuzzFailure(case, shrunk, violations))
     return FuzzResult(cases_run=num_cases, events_checked=events_total,
                       failures=failures)
@@ -247,6 +266,12 @@ def main(argv: Optional[list] = None) -> int:
         print(f"{events} events checked, {len(violations)} violation(s)")
         for v in violations:
             print(f"  {v}")
+        dump = next((v.flight_dump for v in violations if v.flight_dump),
+                    None)
+        if dump:
+            print("flight recorder (last records before the first "
+                  "violation):")
+            print(dump)
         return 1 if violations else 0
 
     def progress(case: FuzzCase, violations: List[Violation]) -> None:
@@ -262,6 +287,10 @@ def main(argv: Optional[list] = None) -> int:
         for v in failure.violations[:10]:
             print(f"  {v}")
         print(f"shrunk to {failure.shrunk.describe()}")
+        if failure.flight_dump:
+            print("flight recorder (last records before the first "
+                  "violation):")
+            print(failure.flight_dump)
         print(f"replay: python -m repro fuzz --replay {failure.case.label}")
     return 0 if result.ok else 1
 

@@ -113,7 +113,7 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.check:
+    if args.check or args.telemetry_out:
         return _cmd_run_checked(args)
     runner = make_runner(args)
     [metrics] = runner.run([make_task(args.baseline, args)])
@@ -130,14 +130,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_checked(args: argparse.Namespace) -> int:
-    """``repro run --check``: run in-process under the invariant auditor.
+    """``repro run --check`` / ``--telemetry-out``: run in-process.
 
-    Bypasses the parallel runner and the result cache — the auditor must
-    attach to the live session object, and a cache hit would audit
-    nothing.
+    Bypasses the parallel runner and the result cache — the auditor and
+    telemetry must attach to the live session object, and a cache hit
+    would observe nothing.
     """
-    from repro.audit import attach_audit
-
     trace = make_trace(args.trace, args.seed, args.duration + 10)
     config = SessionConfig(
         duration=args.duration, seed=args.seed, fps=args.fps,
@@ -146,13 +144,24 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
     session = build_session(args.baseline, trace, config,
                             category=args.category,
                             cc_override=args.cc, codec_override=args.codec)
-    auditor = attach_audit(session, strict=False)
+    telemetry = session.enable_telemetry() if args.telemetry_out else None
+    auditor = None
+    if args.check:
+        from repro.audit import attach_audit
+        auditor = attach_audit(session, strict=False)
     metrics = session.run()
-    violations = auditor.finalize()
+    violations = auditor.finalize() if auditor is not None else []
+    suffix = ", audited" if auditor is not None else ""
     print_table(f"{args.baseline} over {args.trace} "
-                f"({args.duration:.0f}s, {args.category}, audited)",
+                f"({args.duration:.0f}s, {args.category}{suffix})",
                 HEADERS, [metrics_row(args.baseline, metrics)])
-    print(auditor.report())
+    if telemetry is not None:
+        from repro.obs import write_export_dir
+        jsonl, snapshot = write_export_dir(telemetry, args.telemetry_out)
+        print(f"telemetry: {len(telemetry.events)} records -> {jsonl}, "
+              f"snapshot -> {snapshot}")
+    if auditor is not None:
+        print(auditor.report())
     return 1 if violations else 0
 
 
@@ -231,6 +240,8 @@ def cmd_live(args: argparse.Namespace) -> int:
         queue_capacity_bytes=args.queue,
         shaped=not args.unshaped,
         audit=args.check,
+        telemetry=bool(args.telemetry_out),
+        stats_port=args.stats_port,
     )
     session = build_live_session(args.baseline, config, trace=trace,
                                  category=args.category)
@@ -238,7 +249,17 @@ def cmd_live(args: argparse.Namespace) -> int:
           f"{args.duration:.0f}s wall-clock "
           f"({'unshaped' if args.unshaped else args.trace}, "
           f"rtt {args.rtt:g} ms, loss {args.loss:.1%})...")
+    if args.stats_port is not None:
+        port = args.stats_port if args.stats_port else "<ephemeral>"
+        print(f"stats: serving Prometheus snapshot on "
+              f"http://127.0.0.1:{port}/ while the session runs")
     metrics = asyncio.run(session.run())
+    if session.telemetry is not None and args.telemetry_out:
+        from repro.obs import write_export_dir
+        jsonl, snapshot = write_export_dir(session.telemetry,
+                                           args.telemetry_out)
+        print(f"telemetry: {len(session.telemetry.events)} records -> "
+              f"{jsonl}, snapshot -> {snapshot}")
     print_table(f"{args.baseline} live ({args.duration:.0f}s, {args.category})",
                 HEADERS, [metrics_row(args.baseline, metrics)])
     breakdown = metrics.latency_breakdown()
@@ -254,6 +275,76 @@ def cmd_live(args: argparse.Namespace) -> int:
         if session.auditor.violations:
             return 1
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: replay a session with telemetry, print timelines.
+
+    Selectors, most specific wins: ``--metric`` prints one registry
+    metric's time series; ``--kind/--name/--since/--until`` print the
+    filtered record log; otherwise the span timeline of ``--frame`` (or
+    the worst end-to-end frame) is shown.
+    """
+    from repro.obs import (
+        filter_records,
+        render_record,
+        render_span_timeline,
+        write_export_dir,
+    )
+
+    trace = make_trace(args.trace, args.seed, args.duration + 10)
+    config = SessionConfig(
+        duration=args.duration, seed=args.seed, fps=args.fps,
+        base_rtt=args.rtt / 1000.0, initial_bwe_bps=args.initial_bwe * 1e6,
+    )
+    session = build_session(args.baseline, trace, config,
+                            category=args.category,
+                            cc_override=args.cc, codec_override=args.codec)
+    telemetry = session.enable_telemetry()
+    session.run()
+    print(f"{args.baseline} over {args.trace} ({args.duration:.0f}s): "
+          f"{len(telemetry.events)} telemetry records, "
+          f"{len(telemetry.spans)} frame spans")
+
+    status = 0
+    has_filter = (args.kind is not None or args.name is not None
+                  or args.since is not None or args.until is not None)
+    if args.metric is not None:
+        series = telemetry.metric_series(args.metric)
+        if not series:
+            print(f"no samples for metric {args.metric!r}; registered: "
+                  + ", ".join(sorted(telemetry.registry.names())))
+            status = 1
+        shown = series[-args.limit:] if args.limit else series
+        if len(series) > len(shown):
+            print(f"... ({len(series) - len(shown)} earlier samples)")
+        for t, value in shown:
+            print(f"{t:12.6f}  {args.metric} = {value:g}")
+    elif has_filter and not args.worst:
+        records = filter_records(telemetry.events, kind=args.kind,
+                                 name=args.name, frame_id=args.frame,
+                                 since=args.since, until=args.until)
+        shown = records[-args.limit:] if args.limit else records
+        if len(records) > len(shown):
+            print(f"... ({len(records) - len(shown)} earlier records)")
+        for record in shown:
+            print(render_record(record))
+    else:
+        span = (telemetry.spans.get(args.frame) if args.frame is not None
+                else telemetry.spans.worst_e2e())
+        if span is None:
+            which = (f"frame {args.frame}" if args.frame is not None
+                     else "any completed frame")
+            print(f"no span recorded for {which}")
+            status = 1
+        else:
+            if args.frame is None:
+                print("worst end-to-end frame:")
+            print(render_span_timeline(span))
+    if args.out:
+        jsonl, snapshot = write_export_dir(telemetry, args.out)
+        print(f"wrote {jsonl} and {snapshot}")
+    return status
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
@@ -314,6 +405,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--check", action="store_true",
                        help="attach the invariant auditor; exit 1 on any "
                             "violation (disables --jobs/--cache)")
+    p_run.add_argument("--telemetry-out", default=None, dest="telemetry_out",
+                       metavar="DIR",
+                       help="run with telemetry and write the JSONL event "
+                            "log + Prometheus snapshot into DIR (disables "
+                            "--jobs/--cache)")
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -383,7 +479,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_live.add_argument("--check", action="store_true",
                         help="attach the polling invariant auditor; exit 1 "
                              "on any violation")
+    p_live.add_argument("--stats-port", type=int, default=None,
+                        dest="stats_port", metavar="PORT",
+                        help="serve a Prometheus snapshot over HTTP on this "
+                             "loopback port during the run (enables "
+                             "telemetry; 0 picks an ephemeral port)")
+    p_live.add_argument("--telemetry-out", default=None,
+                        dest="telemetry_out", metavar="DIR",
+                        help="enable telemetry and write the JSONL event "
+                             "log + Prometheus snapshot into DIR at "
+                             "session end")
     p_live.set_defaults(func=cmd_live)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="replay one session with telemetry and print span/metric "
+             "timelines")
+    p_tr.add_argument("--baseline", default="ace")
+    p_tr.add_argument("--frame", type=int, default=None,
+                      help="frame id whose span timeline to print")
+    p_tr.add_argument("--worst", action="store_true",
+                      help="print the worst end-to-end frame's span "
+                           "(the default when no selector is given)")
+    p_tr.add_argument("--metric", default=None,
+                      help="print one registry metric's time series, e.g. "
+                           "bucket.token_level_bytes")
+    p_tr.add_argument("--kind", default=None,
+                      help="filter the record log by kind "
+                           "(span|metric|event)")
+    p_tr.add_argument("--name", default=None,
+                      help="filter the record log by name substring")
+    p_tr.add_argument("--since", type=float, default=None,
+                      help="only records at or after this session time")
+    p_tr.add_argument("--until", type=float, default=None,
+                      help="only records at or before this session time")
+    p_tr.add_argument("--limit", type=int, default=50,
+                      help="max records/samples to print (0 = all)")
+    p_tr.add_argument("--out", default=None, metavar="DIR",
+                      help="also write the JSONL event log + Prometheus "
+                           "snapshot into DIR")
+    _add_common(p_tr)
+    p_tr.set_defaults(func=cmd_trace)
 
     p_sc = sub.add_parser("scenario",
                           help="run a named paper-experiment scenario")

@@ -67,6 +67,13 @@ class LiveConfig:
     #: ``auditor`` and surfaced by the caller.
     audit: bool = False
     audit_interval_s: float = 0.05
+    #: enable :class:`repro.obs.Telemetry` (frame spans, metric registry,
+    #: flight recorder). Implied by ``stats_port``.
+    telemetry: bool = False
+    #: serve a Prometheus text snapshot over HTTP on this loopback port
+    #: while the session runs (``repro live --stats-port``; 0 = pick an
+    #: ephemeral port, exposed as ``session.stats_addr``).
+    stats_port: Optional[int] = None
 
 
 class LiveSession:
@@ -98,6 +105,12 @@ class LiveSession:
         self.impairment: Optional[LoopbackImpairment] = None
         #: populated by run() when ``config.audit`` is set.
         self.auditor = None
+        #: populated by run() when ``config.telemetry``/``stats_port`` is
+        #: set (:class:`repro.obs.Telemetry`).
+        self.telemetry = None
+        #: ``(host, port)`` of the running stats endpoint, for callers
+        #: that passed ``stats_port=0``.
+        self.stats_addr: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # run
@@ -147,13 +160,22 @@ class LiveSession:
             sender_cfg, codec, config.fps, config.initial_bwe_bps,
             ace_n_config=self._ace_n_config, ace_c_config=self._ace_c_config)
 
+        telemetry = None
+        if config.telemetry or config.stats_port is not None:
+            from repro.obs import Telemetry, instrument_stack
+            telemetry = self.telemetry = Telemetry(clock)
+            # No Link in live mode — the impairment shim is the bottleneck.
+            instrument_stack(telemetry, pacer=pacer, cc=cc, ace_n=ace_n)
+
         sender = self.sender = Sender(
             clock, source, codec, rate_control_factory(), pacer, cc,
-            send_end, config=sender_cfg, ace_c=ace_c, ace_n=ace_n)
+            send_end, config=sender_cfg, ace_c=ace_c, ace_n=ace_n,
+            telemetry=telemetry)
         receiver = self.receiver = TransportReceiver(
             clock,
             send_feedback_fn=recv_end.send_feedback,
             decode_time_fn=codec.decode_time,
+            telemetry=telemetry,
         )
         receiver.frame_capture_time = _CaptureTimeView(sender)
         receiver.frame_quality = _QualityView(sender)
@@ -176,7 +198,14 @@ class LiveSession:
             self.auditor = SessionAuditor(
                 clock, pacer, ace_n=ace_n, cc=cc,
                 rtt_floor=config.base_rtt,
+                telemetry=telemetry,
             ).attach_polling(config.audit_interval_s)
+
+        stats_server = None
+        if config.stats_port is not None:
+            stats_server = await self._start_stats_server(config.stats_port)
+        if telemetry is not None:
+            telemetry.start_tick()
 
         sender.start()
         receiver.start()
@@ -186,6 +215,11 @@ class LiveSession:
             # Let in-flight packets and feedback land.
             await clock.sleep(config.drain)
         finally:
+            if telemetry is not None:
+                telemetry.stop_tick()
+            if stats_server is not None:
+                stats_server.close()
+                await stats_server.wait_closed()
             send_end.close()
             recv_end.close()
         display_sync.sync()
@@ -193,6 +227,39 @@ class LiveSession:
         if self.auditor is not None:
             self.auditor.finalize()
         return self._collect(send_end)
+
+    async def _start_stats_server(self, port: int):
+        """Serve Prometheus text snapshots over HTTP on loopback.
+
+        Minimal single-purpose endpoint (any path returns the snapshot)
+        so ``curl localhost:PORT`` and a scraping Prometheus both work
+        without an HTTP framework dependency.
+        """
+        from repro.obs import prometheus_snapshot
+
+        async def handle(reader, writer):
+            try:
+                # Drain the request line and headers; the reply is the
+                # same snapshot regardless of what was asked for.
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                body = prometheus_snapshot(self.telemetry.registry).encode()
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: text/plain; version=0.0.4\r\n"
+                    b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                    b"Connection: close\r\n\r\n" + body)
+                await writer.drain()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(handle, "127.0.0.1", port)
+        self.stats_addr = server.sockets[0].getsockname()
+        return server
 
     def _collect(self, send_end: UdpTransport) -> SessionMetrics:
         sender = self.sender

@@ -1,0 +1,50 @@
+"""repro.obs — unified telemetry for sim and live sessions.
+
+One subsystem answers "where did the time go?" at runtime instead of
+post-hoc: frame-lifecycle spans (capture -> encode -> packetize ->
+pacer-enqueue -> wire -> reassembly -> display), a metric registry the
+pacing/control components publish into, a bounded flight recorder the
+invariant auditor dumps on violation, and exporters (JSONL event log,
+Prometheus-style text snapshot, CLI timelines).
+
+Everything here is a pure observer: telemetry never draws randomness,
+never mutates component state, and never advances lazy-refill token
+arithmetic — a session with telemetry attached is bit-identical to one
+without (guarded by the golden fingerprints in
+``tests/test_sim_regression.py``).
+"""
+
+from repro.obs.recorder import FlightRecorder, Telemetry, TelemetryRecord
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.spans import SPAN_STAGES, FrameSpan, SpanBook
+from repro.obs.export import (
+    filter_records,
+    prometheus_snapshot,
+    render_record,
+    render_span_timeline,
+    write_export_dir,
+    write_jsonl,
+    write_snapshot,
+)
+from repro.obs.wiring import instrument_stack
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "FrameSpan",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "SPAN_STAGES",
+    "SpanBook",
+    "Telemetry",
+    "TelemetryRecord",
+    "filter_records",
+    "instrument_stack",
+    "prometheus_snapshot",
+    "render_record",
+    "render_span_timeline",
+    "write_export_dir",
+    "write_jsonl",
+    "write_snapshot",
+]

@@ -1,0 +1,163 @@
+"""Telemetry exporters: JSONL event log, Prometheus snapshot, timelines.
+
+Three consumers, three formats:
+
+* ``write_jsonl`` — the full structured event log, one JSON object per
+  record, for offline analysis (CI uploads this as an artifact).
+* ``prometheus_snapshot`` — a Prometheus text-exposition snapshot of
+  the metric registry; ``repro live --stats-port`` serves it over HTTP
+  while the session runs, sim commands write it at session end.
+* ``render_span_timeline`` / ``render_record`` — fixed-width text for
+  the ``repro trace`` CLI and the flight-recorder dump.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.obs.spans import SPAN_COMPONENTS, SPAN_STAGES, FrameSpan
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import Telemetry, TelemetryRecord
+    from repro.obs.registry import MetricRegistry
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+def write_jsonl(telemetry: "Telemetry", path) -> int:
+    """Write the full event log as JSON lines; returns the record count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with path.open("w") as fh:
+        for record in telemetry.events:
+            fh.write(json.dumps(record.to_json_obj(),
+                                separators=(",", ":")) + "\n")
+            n += 1
+    return n
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    return repr(float(value))
+
+
+def prometheus_snapshot(registry: "MetricRegistry") -> str:
+    """Prometheus text-format snapshot of every registered metric."""
+    lines: list[str] = []
+    for name in sorted(registry.counters):
+        counter = registry.counters[name]
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(counter.value)}")
+    for name in sorted(registry.gauges):
+        gauge = registry.gauges[name]
+        if gauge.value is None:
+            continue
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(gauge.value)}")
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for bound, cumulative in hist.cumulative():
+            le = "+Inf" if bound == math.inf else repr(float(bound))
+            lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{prom}_sum {_prom_value(hist.sum)}")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_snapshot(telemetry: "Telemetry", path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_snapshot(telemetry.registry))
+
+
+def write_export_dir(telemetry: "Telemetry", out_dir) -> tuple[Path, Path]:
+    """Write both exporters into ``out_dir``; returns (jsonl, snapshot)."""
+    out_dir = Path(out_dir)
+    jsonl = out_dir / "events.jsonl"
+    snapshot = out_dir / "metrics.prom"
+    write_jsonl(telemetry, jsonl)
+    write_snapshot(telemetry, snapshot)
+    return jsonl, snapshot
+
+
+# ----------------------------------------------------------------------
+# text timelines
+# ----------------------------------------------------------------------
+def render_record(record: "TelemetryRecord") -> str:
+    fields = " ".join(f"{k}={_fmt_field(v)}"
+                      for k, v in record.fields.items())
+    return f"{record.time:12.6f}  {record.kind:<6} {record.name:<24} {fields}".rstrip()
+
+
+def _fmt_field(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_span_timeline(span: FrameSpan) -> str:
+    """Fixed-width per-stage timeline of one frame's span.
+
+    Stages print in pipeline order with the delta from the previous
+    stamped stage; the footer shows the Fig. 2 component durations.
+    """
+    lines = [f"frame {span.frame_id} span:"]
+    prev: Optional[float] = None
+    for stage in SPAN_STAGES:
+        t = span.stamps.get(stage)
+        if t is None:
+            continue
+        delta = "" if prev is None else f"  (+{(t - prev) * 1000:8.3f} ms)"
+        lines.append(f"  {stage:<14} t={t:12.6f}{delta}")
+        prev = t
+    durations = span.durations()
+    parts = []
+    for name, _start, _end in SPAN_COMPONENTS:
+        d = durations[name]
+        parts.append(f"{name}={'-' if d is None else f'{d * 1000:.3f}ms'}")
+    e2e = span.e2e()
+    parts.append(f"e2e={'-' if e2e is None else f'{e2e * 1000:.3f}ms'}")
+    lines.append("  components: " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def filter_records(records: Iterable["TelemetryRecord"], *,
+                   kind: Optional[str] = None,
+                   name: Optional[str] = None,
+                   frame_id: Optional[int] = None,
+                   since: Optional[float] = None,
+                   until: Optional[float] = None) -> list["TelemetryRecord"]:
+    """Timeline filter used by ``repro trace``. ``name`` is a substring."""
+    out = []
+    for r in records:
+        if kind is not None and r.kind != kind:
+            continue
+        if name is not None and name not in r.name:
+            continue
+        if frame_id is not None and r.fields.get("frame_id") != frame_id:
+            continue
+        if since is not None and r.time < since:
+            continue
+        if until is not None and r.time > until:
+            continue
+        out.append(r)
+    return out

@@ -1,0 +1,207 @@
+"""Telemetry recorder: structured records, spans, flight ring, tick.
+
+:class:`Telemetry` is the session-scoped hub the instrumented stack
+writes into. It is *opt-in*: components hold ``telemetry = None`` by
+default and guard every emission with a ``None`` check, so a session
+without telemetry pays one attribute read per instrumented site and the
+perf gate (``scripts/check_perf.py``) holds that to the committed
+baseline.
+
+Every record lands in two places: the full event log (unless
+``keep_events=False``) and the bounded :class:`FlightRecorder` ring —
+the last-N-records window the invariant auditor dumps when something
+breaks, and ``repro fuzz`` attaches to shrunk reproductions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.registry import MetricRegistry
+from repro.obs.spans import SpanBook
+
+if TYPE_CHECKING:
+    from repro.live.clock import Clock, ScheduledCall
+
+#: default flight-recorder depth (records, not seconds).
+DEFAULT_FLIGHT_CAPACITY = 512
+#: default metric sampling cadence (seconds).
+DEFAULT_TICK_INTERVAL_S = 0.1
+
+
+@dataclass(slots=True)
+class TelemetryRecord:
+    """One structured telemetry event.
+
+    ``kind`` is the stream it belongs to: ``"span"`` (frame-stage
+    stamps), ``"metric"`` (registry samples), ``"event"`` (free-form
+    annotations, e.g. audit violations).
+    """
+
+    time: float
+    kind: str
+    name: str
+    fields: dict = field(default_factory=dict)
+
+    def to_json_obj(self) -> dict:
+        obj = {"t": round(self.time, 9), "kind": self.kind, "name": self.name}
+        obj.update(self.fields)
+        return obj
+
+
+class FlightRecorder:
+    """Bounded ring of the most recent telemetry records."""
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._ring: deque[TelemetryRecord] = deque(maxlen=capacity)
+        self.total_seen = 0
+
+    def append(self, record: TelemetryRecord) -> None:
+        self.total_seen += 1
+        self._ring.append(record)
+
+    def records(self) -> list[TelemetryRecord]:
+        return list(self._ring)
+
+    def dump(self) -> str:
+        """Human-readable dump of the window (newest last)."""
+        from repro.obs.export import render_record
+        ring = self.records()
+        dropped = self.total_seen - len(ring)
+        header = (f"flight recorder: last {len(ring)} of {self.total_seen} "
+                  f"records ({dropped} older records rotated out)")
+        return "\n".join([header] + [f"  {render_record(r)}" for r in ring])
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class Telemetry:
+    """Session telemetry hub: registry + spans + event log + flight ring.
+
+    ``clock`` may be attached lazily (:meth:`attach_clock`) — sim
+    sessions construct their loop first, live sessions their wall clock
+    inside ``run()``. Records carry the clock's ``now`` unless an
+    explicit stamp is given.
+    """
+
+    def __init__(self, clock: Optional["Clock"] = None,
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
+                 tick_interval: Optional[float] = DEFAULT_TICK_INTERVAL_S,
+                 keep_events: bool = True) -> None:
+        self.clock = clock
+        self.tick_interval = tick_interval
+        self.keep_events = keep_events
+        self.registry = MetricRegistry(record=self._record_metric)
+        self.spans = SpanBook()
+        self.events: list[TelemetryRecord] = []
+        self.flight = FlightRecorder(flight_capacity)
+        self._tick_handle: Optional["ScheduledCall"] = None
+        self._frames_encoded = self.registry.counter("frames.encoded")
+        self._frames_displayed = self.registry.counter("frames.displayed")
+        self._e2e_hist = self.registry.histogram("frame.e2e_s")
+        self._pacing_hist = self.registry.histogram("frame.pacing_s")
+
+    # ------------------------------------------------------------------
+    # clock / tick plumbing
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return float(self.clock.now) if self.clock is not None else 0.0
+
+    def attach_clock(self, clock: "Clock") -> "Telemetry":
+        self.clock = clock
+        return self
+
+    def start_tick(self) -> None:
+        """Begin the periodic gauge-sampling tick (no-op if disabled).
+
+        The tick only *reads* component state through non-mutating
+        sample functions, so scheduling it changes nothing about the
+        simulated packet timeline.
+        """
+        if (self.clock is None or self.tick_interval is None
+                or self._tick_handle is not None):
+            return
+        self._tick_handle = self.clock.call_later(
+            self.tick_interval, self._tick, name="obs.tick")
+
+    def stop_tick(self) -> None:
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+
+    def _tick(self) -> None:
+        self.registry.sample_all()
+        self._tick_handle = self.clock.call_later(
+            self.tick_interval, self._tick, name="obs.tick")
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, name: str, at: Optional[float] = None,
+               **fields) -> TelemetryRecord:
+        rec = TelemetryRecord(self.now if at is None else at, kind, name,
+                              fields)
+        if self.keep_events:
+            self.events.append(rec)
+        self.flight.append(rec)
+        return rec
+
+    def _record_metric(self, kind: str, name: str, value: float) -> None:
+        self.record(kind, name, value=value)
+
+    def annotate(self, name: str, **fields) -> None:
+        """Free-form marker (audit violations, session phases, ...)."""
+        self.record("event", name, **fields)
+
+    # ------------------------------------------------------------------
+    # frame lifecycle
+    # ------------------------------------------------------------------
+    def frame_stage(self, frame_id: int, stage: str,
+                    at: Optional[float] = None) -> None:
+        """Stamp one span stage and emit the matching span record."""
+        t = self.now if at is None else at
+        span = self.spans.stage(frame_id, stage, t)
+        self.record("span", stage, at=t, frame_id=frame_id)
+        if stage == "encode_end":
+            self._frames_encoded.inc()
+        elif stage == "displayed":
+            self._frames_displayed.inc()
+            e2e = span.e2e()
+            if e2e is not None:
+                self._e2e_hist.observe(e2e)
+            pacing = span.durations().get("pacing")
+            if pacing is not None:
+                self._pacing_hist.observe(pacing)
+
+    def packet_wire(self, frame_id: int, size_bytes: int) -> None:
+        """A fresh media packet left the pacer onto the wire.
+
+        Brackets the span's ``wire_first``/``wire_last`` stamps and logs
+        one ``wire`` record per packet — the per-packet send timeline
+        the flight recorder replays around a violation.
+        """
+        now = self.now
+        span = self.spans.spans.get(frame_id)
+        if span is None:
+            span = self.spans.stage(frame_id, "wire_first", now)
+        elif "wire_first" not in span.stamps:
+            span.stage("wire_first", now)
+        span.stage("wire_last", now)
+        self.record("span", "wire", at=now, frame_id=frame_id,
+                    size=size_bytes)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def flight_dump(self) -> str:
+        return self.flight.dump()
+
+    def metric_series(self, name: str) -> list[tuple[float, float]]:
+        """(time, value) samples of one metric from the event log."""
+        return [(r.time, r.fields["value"]) for r in self.events
+                if r.kind == "metric" and r.name == name]

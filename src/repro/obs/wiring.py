@@ -1,0 +1,94 @@
+"""Attach the metric registry to a running sender/transport stack.
+
+:func:`instrument_stack` registers the canonical gauges and counters —
+token level, bucket size, estimated queue, BWE, pacer backlog, link
+queue, loss events — against live component objects. Every sample
+function is a *pure read*: in particular the token level is recomputed
+virtually from the bucket's raw fields (never via ``tokens(now)``,
+whose lazy refill would shift float rounding and break bit-identical
+fixed-seed runs — the same rule the invariant auditor follows), and the
+queue estimate is recomputed from the estimator's non-mutating parts
+(``queue_bytes(now)`` appends to its history).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.transport.pacer.token_bucket_pacer import TokenBucketPacer
+
+if TYPE_CHECKING:
+    from repro.core.ace_n import AceNController
+    from repro.net.link import Link
+    from repro.obs.recorder import Telemetry
+    from repro.transport.cc.base import CongestionController
+    from repro.transport.pacer.base import Pacer
+
+
+def _virtual_tokens(pacer: TokenBucketPacer, telemetry: "Telemetry") -> float:
+    """Token count at ``now`` without advancing the lazy-refill state."""
+    bucket = pacer.bucket
+    elapsed = telemetry.now - bucket._last_refill
+    tokens = bucket._tokens
+    if elapsed > 0:
+        tokens = min(bucket._bucket_bytes,
+                     tokens + elapsed * bucket._rate_bps / 8.0)
+    return tokens
+
+
+def _est_queue_bytes(ace_n: "AceNController") -> float:
+    """The estimator's current queue view without recording history."""
+    est = ace_n.queue_estimator
+    return est.queue_delay() * est.capacity_bps() / 8.0
+
+
+def instrument_stack(telemetry: "Telemetry", *,
+                     pacer: Optional["Pacer"] = None,
+                     cc: Optional["CongestionController"] = None,
+                     ace_n: Optional["AceNController"] = None,
+                     link: Optional["Link"] = None) -> "Telemetry":
+    """Register sampled gauges / counters for whatever components exist.
+
+    Safe to call with partial stacks (live mode has no :class:`Link`;
+    non-ACE baselines have no controller). Gauges are polled by the
+    telemetry tick; the loss counter chains the link's ``on_drop``
+    callback (observing only — the original callback still fires).
+    """
+    registry = telemetry.registry
+    if pacer is not None:
+        registry.gauge("pacer.backlog_bytes",
+                       sample_fn=lambda p=pacer: p.queued_bytes)
+        registry.gauge("pacer.backlog_packets",
+                       sample_fn=lambda p=pacer: p.queued_packets)
+        registry.gauge("pacer.pacing_rate_bps",
+                       sample_fn=lambda p=pacer: p.pacing_rate_bps)
+        if isinstance(pacer, TokenBucketPacer):
+            registry.gauge(
+                "bucket.token_level_bytes",
+                sample_fn=lambda p=pacer, t=telemetry: _virtual_tokens(p, t))
+            registry.gauge("bucket.size_bytes",
+                           sample_fn=lambda p=pacer: p.bucket_bytes)
+            registry.gauge("bucket.token_rate_bps",
+                           sample_fn=lambda p=pacer: p.bucket.rate_bps)
+    if cc is not None:
+        registry.gauge("cc.bwe_bps", sample_fn=lambda c=cc: c.bwe_bps)
+    if ace_n is not None:
+        registry.gauge("ace.bucket_bytes",
+                       sample_fn=lambda a=ace_n: a.bucket_bytes)
+        registry.gauge("ace.est_queue_bytes",
+                       sample_fn=lambda a=ace_n: _est_queue_bytes(a))
+        registry.gauge("ace.decisions",
+                       sample_fn=lambda a=ace_n: len(a.decisions))
+    if link is not None:
+        registry.gauge("link.queue_bytes",
+                       sample_fn=lambda l=link: l.queued_bytes)
+        drops = registry.counter("link.drop_packets")
+        orig_on_drop = link.on_drop
+
+        def on_drop(packet, _orig=orig_on_drop, _c=drops):
+            _c.inc()
+            if _orig is not None:
+                _orig(packet)
+
+        link.on_drop = on_drop
+    return telemetry

@@ -89,8 +89,13 @@ class Sender:
                  cc: CongestionController, transport: "Transport",
                  config: Optional[SenderConfig] = None,
                  ace_c: Optional[AceCController] = None,
-                 ace_n: Optional[AceNController] = None) -> None:
+                 ace_n: Optional[AceNController] = None,
+                 telemetry=None) -> None:
         self.loop = loop
+        #: optional :class:`repro.obs.Telemetry`; every emission below is
+        #: guarded by a None check so disabled telemetry costs one
+        #: attribute read (held to baseline by the perf gate).
+        self.telemetry = telemetry
         self.source = source
         self.codec = codec
         self.rate_control = rate_control
@@ -197,6 +202,10 @@ class Sender:
                 self.codec.rc_satd_mean, backlogged=backlogged)
             level = decision.level
 
+        tel = self.telemetry
+        if tel is not None:
+            tel.frame_stage(frame.frame_id, "capture", at=frame.capture_time)
+
         is_keyframe = False
         if self._pli_pending and self.config.keyframe_on_pli:
             is_keyframe = True
@@ -228,6 +237,9 @@ class Sender:
         encoded.encode_start = start
         encoded.encode_end = finish
         self.encoded_frames.append(encoded)
+        if tel is not None:
+            tel.frame_stage(encoded.frame_id, "encode_start", at=start)
+            tel.frame_stage(encoded.frame_id, "encode_end", at=finish)
 
         self.rate_control.on_encoded(encoded.size_bytes, target_bps, fps)
         if self.config.ace_c_enabled and self.ace_c is not None:
@@ -292,6 +304,10 @@ class Sender:
                     packet.seq = self._parity_seq
         metrics = self.frame_metrics[encoded.frame_id]
         metrics.pacer_enqueue = self.loop.now
+        tel = self.telemetry
+        if tel is not None:
+            tel.frame_stage(encoded.frame_id, "packetize")
+            tel.frame_stage(encoded.frame_id, "pacer_enqueue")
         if self.ace_n is not None:
             self.ace_n.on_frame_enqueued(encoded.size_bytes)
         self.pacer.enqueue(packets)
@@ -309,6 +325,8 @@ class Sender:
             metrics = self.frame_metrics.get(packet.frame_id)
             if metrics is not None:
                 metrics.pacer_last_exit = now
+            if self.telemetry is not None and packet.frame_id >= 0:
+                self.telemetry.packet_wire(packet.frame_id, packet.size_bytes)
         self._orig_send_fn(packet)
 
     # ------------------------------------------------------------------

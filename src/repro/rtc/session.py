@@ -140,7 +140,8 @@ class RtcSession:
                  cc_factory: Optional[Callable[[], CongestionController]] = None,
                  sender_config: Optional[SenderConfig] = None,
                  ace_n_config: Optional[AceNConfig] = None,
-                 ace_c_config: Optional[AceCConfig] = None) -> None:
+                 ace_c_config: Optional[AceCConfig] = None,
+                 telemetry=None) -> None:
         self.trace = trace
         self.config = config
         self.loop = EventLoop()
@@ -199,6 +200,33 @@ class RtcSession:
         self._media_drops = 0
         self._finished = False
         self._display_sync = DisplaySync(self.sender, self.receiver)
+        #: optional :class:`repro.obs.Telemetry` (see enable_telemetry).
+        self.telemetry = None
+        if telemetry is not None:
+            self.enable_telemetry(telemetry)
+
+    def enable_telemetry(self, telemetry=None):
+        """Attach a :class:`repro.obs.Telemetry` hub to this session.
+
+        Idempotent; must run before :meth:`run`. Wires the sender and
+        receiver span stages, registers the stack's gauges/counters
+        (token level, bucket size, estimated queue, BWE, pacer backlog,
+        link queue, drops), and starts the sampling tick. Telemetry is
+        a pure observer — fixed-seed results are bit-identical with it
+        on or off (``tests/test_sim_regression.py`` holds both).
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        from repro.obs import Telemetry, instrument_stack
+        tel = telemetry if telemetry is not None else Telemetry()
+        tel.attach_clock(self.loop)
+        self.sender.telemetry = tel
+        self.receiver.telemetry = tel
+        instrument_stack(tel, pacer=self.sender.pacer, cc=self.cc,
+                         ace_n=self.sender.ace_n, link=self.path.link)
+        tel.start_tick()
+        self.telemetry = tel
+        return tel
 
     # ------------------------------------------------------------------
     # path callbacks
@@ -241,6 +269,9 @@ class RtcSession:
         """
         if self._finished:
             raise RuntimeError("session already ran; build a new one")
+        if (self.telemetry is None
+                and os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")):
+            self.enable_telemetry()
         auditor = None
         if os.environ.get("REPRO_AUDIT", "") not in ("", "0"):
             from repro.audit.auditor import attach_audit

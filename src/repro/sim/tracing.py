@@ -33,8 +33,14 @@ class Tracer:
         self.name_filter = name_filter
         self.max_records = max_records
         self.records: list[TraceRecord] = []
+        #: records discarded after ``max_records`` was reached — a capped
+        #: trace is truncated, not complete, and queries must be able to
+        #: tell the difference.
+        self.dropped_records = 0
         self._installed = False
         self._prev_hook: Optional[Callable[[Event], None]] = None
+        #: the exact hook object placed on the loop (see install()).
+        self._hook: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # installation
@@ -48,15 +54,55 @@ class Tracer:
         if self._installed:
             return self
         self._prev_hook = self.loop.on_event
-        self.loop.on_event = self._on_event
+        # One stable bound-method object: attribute access creates a new
+        # bound method each time, so identity checks against the chain
+        # (install/uninstall splicing) need the exact installed object.
+        self._hook = self._on_event
+        self.loop.on_event = self._hook
         self._installed = True
         return self
 
     def uninstall(self) -> None:
-        if self._installed:
+        """Detach from the loop, safe in any order.
+
+        Tracers chain: if another tracer installed after this one, naively
+        restoring ``self._prev_hook`` would silently disconnect it (and
+        everything after it). Instead, when this tracer is no longer the
+        head of the chain, the hook that chained onto it is located by
+        walking the chain and spliced directly to this tracer's
+        predecessor, so every other tracer keeps firing.
+        """
+        if not self._installed:
+            return
+        if self.loop.on_event is self._hook:
             self.loop.on_event = self._prev_hook
-            self._prev_hook = None
-            self._installed = False
+        else:
+            successor = self._find_successor()
+            if successor is None:
+                raise RuntimeError(
+                    "tracer is installed but its hook is not in the loop's "
+                    "on_event chain (a later hook does not chain, or "
+                    "on_event was replaced directly); refusing to corrupt "
+                    "the chain")
+            successor._prev_hook = self._prev_hook
+        self._prev_hook = None
+        self._hook = None
+        self._installed = False
+
+    def _find_successor(self):
+        """The chained hook owner whose predecessor is this tracer.
+
+        Works for any chaining observer that keeps its predecessor in a
+        ``_prev_hook`` attribute (tracers, the session auditor).
+        """
+        hook = self.loop.on_event
+        while hook is not None:
+            owner = getattr(hook, "__self__", None)
+            prev = getattr(owner, "_prev_hook", None)
+            if prev is self._hook:
+                return owner
+            hook = prev
+        return None
 
     def _on_event(self, event: Event) -> None:
         self._record(self.loop.now, event.name)
@@ -70,6 +116,7 @@ class Tracer:
         if self.name_filter is not None and not self.name_filter(name):
             return
         if len(self.records) >= self.max_records:
+            self.dropped_records += 1
             return
         self.records.append(TraceRecord(time, name, detail))
 
@@ -84,11 +131,17 @@ class Tracer:
         return [r for r in self.records if start <= r.time <= end]
 
     def counts(self) -> Counter:
-        return Counter(r.name for r in self.records)
+        counter = Counter(r.name for r in self.records)
+        if self.dropped_records:
+            counter["<dropped>"] = self.dropped_records
+        return counter
 
     def dump(self, limit: int = 50) -> str:
         lines = [f"{r.time:10.6f}  {r.name}  {r.detail}".rstrip()
                  for r in self.records[:limit]]
         if len(self.records) > limit:
             lines.append(f"... ({len(self.records) - limit} more)")
+        if self.dropped_records:
+            lines.append(f"!! {self.dropped_records} record(s) dropped at "
+                         f"max_records={self.max_records}")
         return "\n".join(lines)

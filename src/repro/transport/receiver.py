@@ -64,8 +64,12 @@ class TransportReceiver:
                  decode_time_fn: Callable[[], float],
                  feedback_interval: float = DEFAULT_FEEDBACK_INTERVAL_S,
                  skip_timeout: float = 0.4,
-                 playout_buffer: Optional["PlayoutBuffer"] = None) -> None:
+                 playout_buffer: Optional["PlayoutBuffer"] = None,
+                 telemetry=None) -> None:
         self.loop = loop
+        #: optional :class:`repro.obs.Telemetry` for receiver-side span
+        #: stages (arrival, reassembly-complete, display).
+        self.telemetry = telemetry
         self.send_feedback_fn = send_feedback_fn
         self.decode_time_fn = decode_time_fn
         self.feedback_interval = feedback_interval
@@ -133,6 +137,11 @@ class TransportReceiver:
             self.frames[packet.frame_id] = record
         if record.first_arrival is None:
             record.first_arrival = packet.t_arrival
+            if self.telemetry is not None:
+                arrival = packet.t_arrival
+                self.telemetry.frame_stage(
+                    packet.frame_id, "arrival_first",
+                    at=self.loop.now if arrival is None else arrival)
         # prev_sent_frame_id is stamped only on a frame's first packet.
         prev_sent = (getattr(packet, "prev_sent_frame_id", None)
                      if packet.frame_packet_index == 0 else None)
@@ -151,6 +160,8 @@ class TransportReceiver:
         if (not record.complete
                 and record.packets_received >= record.packet_count):
             record.complete_at = self.loop.now
+            if self.telemetry is not None:
+                self.telemetry.frame_stage(record.frame_id, "complete")
             self._try_display()
 
     def _try_display(self) -> None:
@@ -171,6 +182,9 @@ class TransportReceiver:
                 display_at = self.playout.schedule(record.capture_time,
                                                    display_at)
             record.displayed_at = display_at
+            if self.telemetry is not None:
+                self.telemetry.frame_stage(record.frame_id, "displayed",
+                                           at=display_at)
             self.displayed.append(record)
             self._next_display_id += 1
             self._blocked_since = None
@@ -209,6 +223,8 @@ class TransportReceiver:
         record.size_bytes += size
         if not record.complete and record.packets_received >= record.packet_count:
             record.complete_at = self.loop.now
+            if self.telemetry is not None:
+                self.telemetry.frame_stage(record.frame_id, "complete")
             self._try_display()
 
     def _skip_tick(self) -> None:

@@ -80,3 +80,76 @@ class TestCommands:
         rc = main(["run", "--baseline", "webrtc-star", "--trace", "const:15",
                    "--duration", "3", "--cc", "bbr"])
         assert rc == 0
+
+
+class TestTraceCommand:
+    def test_worst_span_by_default(self, capsys):
+        rc = main(["trace", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "2", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry records" in out
+        assert "worst end-to-end frame:" in out
+        assert "span:" in out and "e2e=" in out
+
+    def test_specific_frame(self, capsys):
+        rc = main(["trace", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "2", "--seed", "5", "--frame", "3"])
+        assert rc == 0
+        assert "frame 3 span:" in capsys.readouterr().out
+
+    def test_metric_series(self, capsys):
+        rc = main(["trace", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "2", "--seed", "5",
+                   "--metric", "cc.bwe_bps", "--limit", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cc.bwe_bps = " in out
+
+    def test_unknown_metric_fails_and_lists_names(self, capsys):
+        rc = main(["trace", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "1", "--seed", "5",
+                   "--metric", "no.such.metric"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "registered:" in out and "cc.bwe_bps" in out
+
+    def test_filtered_record_log(self, capsys):
+        rc = main(["trace", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "2", "--seed", "5", "--kind", "span",
+                   "--since", "0.5", "--until", "1.0", "--limit", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "span" in out
+
+    def test_out_dir_writes_exports(self, tmp_path, capsys):
+        out_dir = tmp_path / "tele"
+        rc = main(["trace", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "1", "--seed", "5", "--out", str(out_dir)])
+        assert rc == 0
+        assert (out_dir / "events.jsonl").exists()
+        assert (out_dir / "metrics.prom").exists()
+
+
+class TestRunTelemetryOut:
+    def test_run_writes_exports(self, tmp_path, capsys):
+        out_dir = tmp_path / "tele"
+        rc = main(["run", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "1", "--seed", "5",
+                   "--telemetry-out", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert (out_dir / "events.jsonl").exists()
+        assert (out_dir / "metrics.prom").exists()
+        assert (out_dir / "metrics.prom").read_text().startswith("# TYPE")
+
+    def test_run_check_with_telemetry(self, tmp_path, capsys):
+        out_dir = tmp_path / "tele"
+        rc = main(["run", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "1", "--seed", "5", "--check",
+                   "--telemetry-out", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "audit clean" in out
+        assert (out_dir / "events.jsonl").exists()

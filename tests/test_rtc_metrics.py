@@ -130,3 +130,80 @@ def test_summarize_latency():
     assert s["p50"] == pytest.approx(0.505, rel=0.02)
     assert s["p99"] > s["p95"] > s["p50"]
     assert s["mean"] == pytest.approx(0.505, rel=0.01)
+
+
+# ----------------------------------------------------------------------
+# edge cases: empty sessions, zero-capacity bins, NaN propagation
+# ----------------------------------------------------------------------
+def test_utilization_ratios_empty_session():
+    m = SessionMetrics(duration=1.0)
+    assert m.utilization_ratios() == []
+    assert m.utilization_ratios(against="bwe") == []
+
+
+def test_utilization_ratios_without_bandwidth_fn():
+    m = SessionMetrics(duration=0.02)
+    m.send_events = [(0.001, 1250)]
+    # No ground truth attached: bandwidth-relative ratios are undefined
+    # and must be skipped, not crash or divide by None.
+    assert m.utilization_ratios(against="bandwidth") == []
+
+
+def test_utilization_ratios_skips_zero_capacity_bins():
+    m = SessionMetrics(duration=0.03)
+    m.send_events = [(0.001, 1250), (0.011, 1250), (0.021, 1250)]
+    # The middle bin falls in an outage (zero capacity): dividing by it
+    # would blow up, so the bin must be dropped from the distribution.
+    m.bandwidth_fn = lambda t: 0.0 if 0.01 <= t < 0.02 else 2e6
+    ratios = m.utilization_ratios(bin_s=0.01, against="bandwidth")
+    assert len(ratios) == 2
+    assert all(math.isfinite(r) for r in ratios)
+
+
+def test_utilization_ratios_against_bwe_zero_estimate():
+    m = SessionMetrics(duration=0.02)
+    m.send_events = [(0.001, 1250), (0.011, 1250)]
+    m.bwe_history = [(0.0, 0.0), (0.01, 1e6)]
+    ratios = m.utilization_ratios(bin_s=0.01, against="bwe")
+    assert ratios == [pytest.approx(1250 * 8 / 0.01 / 1e6)]
+
+
+def test_bwe_accuracy_samples_empty_session():
+    m = SessionMetrics(duration=1.0)
+    assert m.bwe_accuracy_samples() == []
+    m.bandwidth_fn = lambda t: 2e6
+    assert m.bwe_accuracy_samples() == []  # still no BWE history
+
+
+def test_bwe_accuracy_samples_zero_capacity_bins():
+    m = SessionMetrics(duration=0.1)
+    m.bwe_history = [(0.0, 1e6)]
+    m.bandwidth_fn = lambda t: 0.0 if t < 0.05 else 2e6
+    samples = m.bwe_accuracy_samples(bin_s=0.05)
+    # Outage bins are skipped rather than emitted as inf/NaN.
+    assert samples == [pytest.approx(0.5)]
+    assert all(math.isfinite(s) for s in samples)
+
+
+def test_percentile_empty_and_none_inputs():
+    assert math.isnan(percentile([], 95))
+    assert math.isnan(percentile([None, None], 95))
+
+
+def test_percentile_filters_nan_values():
+    values = [0.1, float("nan"), 0.3, None, 0.2]
+    assert percentile(values, 50) == pytest.approx(0.2)
+    # All-NaN input degrades to NaN, never raises.
+    assert math.isnan(percentile([float("nan")], 95))
+
+
+def test_summarize_latency_empty_is_all_nan():
+    s = summarize_latency([])
+    assert set(s) == {"p50", "p90", "p95", "p99", "mean"}
+    assert all(math.isnan(v) for v in s.values())
+
+
+def test_latency_percentiles_empty_session_are_nan():
+    m = SessionMetrics(duration=1.0)
+    assert math.isnan(m.p95_latency())
+    assert math.isnan(m.latency_percentile(50))

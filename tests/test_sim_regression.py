@@ -66,6 +66,22 @@ def test_sim_results_bit_identical_to_pre_refactor(baseline):
         f"bit-identical")
 
 
+@pytest.mark.parametrize("baseline", sorted(GOLDEN))
+def test_sim_results_bit_identical_with_telemetry_on(baseline):
+    """Telemetry is a pure observer: a fully instrumented session (spans,
+    sampled gauges, flight recorder, periodic tick) must reproduce the
+    same golden fingerprints as an uninstrumented one."""
+    trace = make_wifi_trace(RngStream(11, "trace"), duration=DURATION + 10)
+    config = SessionConfig(duration=DURATION, seed=SEED)
+    session = build_session(baseline, trace, config)
+    telemetry = session.enable_telemetry()
+    metrics = session.run()
+    assert telemetry.events, "telemetry was enabled but recorded nothing"
+    assert fingerprint(metrics) == GOLDEN[baseline], (
+        f"enabling telemetry changed the simulated {baseline} session — "
+        f"instrumentation must not perturb results")
+
+
 def test_fingerprint_is_deterministic_across_runs():
     """Guards the fingerprint itself: two fresh sessions on the same
     workload must hash identically (no hidden global state)."""

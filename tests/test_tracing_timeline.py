@@ -38,6 +38,64 @@ class TestTracer:
         loop.drain()
         assert [r.name for r in tracer.records] == ["before"]
 
+    def test_capacity_drops_are_counted_and_surfaced(self):
+        loop = EventLoop()
+        tracer = Tracer(loop, max_records=2).install()
+        for i in range(5):
+            loop.call_at(0.1 * (i + 1), lambda: None, name=f"e{i}")
+        loop.drain()
+        assert [r.name for r in tracer.records] == ["e0", "e1"]
+        assert tracer.dropped_records == 3
+        assert tracer.counts()["<dropped>"] == 3
+        assert "3 record(s) dropped" in tracer.dump()
+
+    def test_no_drops_no_sentinel(self):
+        loop = EventLoop()
+        tracer = Tracer(loop).install()
+        loop.call_at(0.1, lambda: None, name="a")
+        loop.drain()
+        assert "<dropped>" not in tracer.counts()
+        assert "dropped" not in tracer.dump()
+
+    def test_out_of_order_uninstall_keeps_later_tracer(self):
+        """Uninstalling the first-installed tracer must not disconnect a
+        tracer that chained on after it (the old code restored its own
+        predecessor over the whole chain, silently dropping the rest)."""
+        loop = EventLoop()
+        first = Tracer(loop).install()
+        second = Tracer(loop).install()
+        loop.call_at(0.1, lambda: None, name="both")
+        loop.drain()
+        first.uninstall()  # out of order: second is still installed
+        loop.call_at(0.2, lambda: None, name="second-only")
+        loop.drain()
+        assert [r.name for r in first.records] == ["both"]
+        assert [r.name for r in second.records] == ["both", "second-only"]
+        second.uninstall()
+        assert loop.on_event is None
+
+    def test_out_of_order_uninstall_three_deep(self):
+        loop = EventLoop()
+        a = Tracer(loop).install()
+        b = Tracer(loop).install()
+        c = Tracer(loop).install()
+        b.uninstall()  # splice out the middle
+        loop.call_at(0.1, lambda: None, name="x")
+        loop.drain()
+        assert [r.name for r in a.records] == ["x"]
+        assert b.records == []
+        assert [r.name for r in c.records] == ["x"]
+        a.uninstall()
+        c.uninstall()
+        assert loop.on_event is None
+
+    def test_uninstall_raises_when_chain_is_broken(self):
+        loop = EventLoop()
+        tracer = Tracer(loop).install()
+        loop.on_event = lambda event: None  # non-chaining replacement
+        with pytest.raises(RuntimeError, match="on_event chain"):
+            tracer.uninstall()
+
     def test_annotations_and_queries(self):
         loop = EventLoop()
         tracer = Tracer(loop).install()
