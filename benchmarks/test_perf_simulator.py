@@ -112,6 +112,51 @@ def test_perf_full_session_telemetry_on(benchmark):
     assert frames >= 145
 
 
+def test_perf_full_session_profiler_off(benchmark):
+    """Session speed after attaching and *detaching* the self-profiler.
+
+    ``scripts/check_perf.py`` holds this bench within a tight factor
+    (default 1.05x) of ``test_perf_full_session_throughput`` from the
+    same run: ``set_profiler(None)`` must restore the exact unprofiled
+    dispatch path, so a profiler that leaks per-event overhead into the
+    off state fails the gate.
+    """
+    trace = BandwidthTrace.constant(20e6, duration=20.0)
+
+    def run_session():
+        from repro.obs import LoopProfiler
+        cfg = SessionConfig(duration=5.0, seed=3, initial_bwe_bps=8e6)
+        session = build_session("ace", trace, cfg)
+        session.loop.set_profiler(LoopProfiler())
+        session.loop.set_profiler(None)
+        return len(session.run().frames)
+
+    frames = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert frames >= 145
+
+
+def test_perf_full_session_profile_on(benchmark):
+    """Self-profiled twin of the session-throughput bench.
+
+    Not gated pairwise (two perf_counter() calls per event are real
+    cost); the absolute snapshot still bounds it. Asserts the profile
+    actually observed the run.
+    """
+    trace = BandwidthTrace.constant(20e6, duration=20.0)
+
+    def run_session():
+        from repro.obs import LoopProfiler
+        cfg = SessionConfig(duration=5.0, seed=3, initial_bwe_bps=8e6)
+        session = build_session("ace", trace, cfg)
+        profiler = session.loop.set_profiler(LoopProfiler())
+        frames = len(session.run().frames)
+        assert profiler.total_events == session.loop.processed
+        return frames
+
+    frames = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert frames >= 145
+
+
 def test_perf_trace_rate_lookup(benchmark):
     """Sequential ``rate_at`` throughput on a *varying* trace.
 

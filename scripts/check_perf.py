@@ -34,6 +34,14 @@ TELEMETRY_BENCH = "test_perf_full_session_telemetry_on"
 TELEMETRY_BASE_BENCH = "test_perf_full_session_throughput"
 DEFAULT_TELEMETRY_OVERHEAD = 1.5
 
+#: profiler-off gate: a session that attached and then detached the
+#: event-loop self-profiler must run at the plain session's speed —
+#: detaching restores the exact unprofiled dispatch path, so the
+#: tolerance is tight (noise allowance only).
+PROFILER_OFF_BENCH = "test_perf_full_session_profiler_off"
+PROFILER_BASE_BENCH = "test_perf_full_session_throughput"
+DEFAULT_PROFILER_OVERHEAD = 1.05
+
 
 def load_mins(bench_json: Path) -> dict[str, float]:
     """Per-bench minimum seconds from a pytest-benchmark dump."""
@@ -56,6 +64,12 @@ def main(argv: list[str] | None = None) -> int:
                              "exceeds the telemetry-off one by more than "
                              f"this factor (default "
                              f"{DEFAULT_TELEMETRY_OVERHEAD})")
+    parser.add_argument("--profiler-overhead", type=float,
+                        default=DEFAULT_PROFILER_OVERHEAD,
+                        dest="profiler_overhead",
+                        help="fail when the profiler-off session bench "
+                             "exceeds the plain one by more than this "
+                             f"factor (default {DEFAULT_PROFILER_OVERHEAD})")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the snapshot from bench_json and exit")
     args = parser.parse_args(argv)
@@ -103,6 +117,16 @@ def main(argv: list[str] | None = None) -> int:
               f"({ratio:.2f}x, limit {args.telemetry_overhead}x)")
         if ratio > args.telemetry_overhead:
             failures.append("telemetry-overhead")
+
+    if PROFILER_OFF_BENCH in current and PROFILER_BASE_BENCH in current:
+        ratio = current[PROFILER_OFF_BENCH] / current[PROFILER_BASE_BENCH]
+        status = "FAIL" if ratio > args.profiler_overhead else "ok"
+        print(f"  {status:>4} profiler-off overhead: "
+              f"{current[PROFILER_OFF_BENCH] * 1e3:.2f} ms detached vs "
+              f"{current[PROFILER_BASE_BENCH] * 1e3:.2f} ms plain "
+              f"({ratio:.2f}x, limit {args.profiler_overhead}x)")
+        if ratio > args.profiler_overhead:
+            failures.append("profiler-off-overhead")
 
     if failures:
         print(f"check_perf: {len(failures)} regression(s) beyond "

@@ -10,20 +10,34 @@ Determinism contract: each task carries its own seed and builds its own
 session, so a worker computes *exactly* the float sequence the serial
 path computes — parallel results are byte-identical to ``jobs=1``
 (tested via :func:`~repro.analysis.results.canonical_metrics_json`).
+Part of that contract is **environment isolation**: the parent's
+``REPRO_TELEMETRY``/``REPRO_AUDIT`` env vars never leak into grid cells
+(a debugging session must not silently instrument a 500-cell sweep);
+instrumentation is opted into per task via :attr:`GridTask.telemetry` /
+:attr:`GridTask.audit`.
 
 The runner composes with the on-disk result cache
 (:class:`~repro.analysis.cache.ResultCache`): cached cells are answered
 without spawning a worker, and fresh results are stored for the next
-sweep. ``REPRO_CACHE=off`` disables that layer entirely.
+sweep. ``REPRO_CACHE=off`` disables that layer entirely. Instrumented
+cells bypass the cache in both directions — a cache hit would observe
+nothing, and an instrumented run is not the artifact other sweeps
+expect.
+
+Fleet observability: pass a :class:`~repro.obs.fleet.FleetObserver` (or
+``run_dir=`` on :func:`run_grid`) and the runner streams per-cell
+completion records, worker heartbeats, and a final summary into a run
+directory that ``repro report`` can roll up later.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Iterable, Optional, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.analysis.cache import ResultCache
 from repro.net.trace import BandwidthTrace
@@ -31,8 +45,15 @@ from repro.rtc.baselines import build_session
 from repro.rtc.metrics import SessionMetrics
 from repro.rtc.session import SessionConfig
 
+if TYPE_CHECKING:
+    from repro.obs.fleet import FleetObserver
+
 #: default per-session simulated duration (matches bench workloads).
 DEFAULT_DURATION = 25.0
+
+#: env vars that flip on instrumentation in ``RtcSession.run()``; grid
+#: workers strip these so cells only get what their task asked for.
+INSTRUMENT_ENV_VARS = ("REPRO_TELEMETRY", "REPRO_AUDIT")
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -52,6 +73,11 @@ class GridTask:
     pass a full ``config`` to control every field (RTT sweeps, loss
     injection, ...). ``build_kwargs`` forwards overrides to
     :func:`build_session` (``cc_override``, ``ace_n_config``, ...).
+
+    ``telemetry``/``audit`` opt this one cell into instrumentation —
+    the *only* way to instrument a grid cell; the runner deliberately
+    ignores the parent's ``REPRO_TELEMETRY``/``REPRO_AUDIT`` env vars.
+    Instrumented cells are never served from (or stored to) the cache.
     """
 
     baseline: str
@@ -63,6 +89,8 @@ class GridTask:
     initial_bwe_bps: float = 6_000_000.0
     config: Optional[SessionConfig] = None
     build_kwargs: dict = field(default_factory=dict)
+    telemetry: bool = False
+    audit: bool = False
 
     def session_config(self) -> SessionConfig:
         if self.config is not None:
@@ -76,20 +104,47 @@ class GridTask:
         cfg = self.session_config()
         return (self.baseline, self.trace.name, cfg.seed, self.category)
 
+    @property
+    def instrumented(self) -> bool:
+        return self.telemetry or self.audit
+
 
 def _run_task(task: GridTask) -> SessionMetrics:
     """Worker entry point: run one cell and return picklable metrics.
 
-    ``bandwidth_fn`` (a live bound method of the trace) is stripped
-    before crossing the process boundary; the parent reattaches its own
-    trace's ``rate_at`` so results look identical to an in-process run.
+    Strips :data:`INSTRUMENT_ENV_VARS` for the duration of the run (and
+    restores them — the ``jobs=1`` path runs in the parent process), so
+    cells are instrumented iff their task says so. ``bandwidth_fn`` (a
+    live bound method of the trace) is stripped before crossing the
+    process boundary; the parent reattaches its own trace's ``rate_at``
+    so results look identical to an in-process run.
     """
-    session = build_session(task.baseline, task.trace,
-                            task.session_config(),
-                            category=task.category, **task.build_kwargs)
-    metrics = session.run()
-    metrics.bandwidth_fn = None
-    return metrics
+    saved = {name: os.environ.pop(name)
+             for name in INSTRUMENT_ENV_VARS if name in os.environ}
+    try:
+        session = build_session(task.baseline, task.trace,
+                                task.session_config(),
+                                category=task.category, **task.build_kwargs)
+        if task.telemetry:
+            session.enable_telemetry()
+        auditor = None
+        if task.audit:
+            from repro.audit import attach_audit
+            auditor = attach_audit(session, strict=True)
+        metrics = session.run()
+        if auditor is not None:
+            auditor.finalize()
+        metrics.bandwidth_fn = None
+        return metrics
+    finally:
+        os.environ.update(saved)
+
+
+def _run_cell(index: int, task: GridTask) -> tuple[int, SessionMetrics, int, float]:
+    """Pool entry point: ``(index, metrics, worker pid, wall seconds)``."""
+    t0 = perf_counter()
+    metrics = _run_task(task)
+    return index, metrics, os.getpid(), perf_counter() - t0
 
 
 class ParallelRunner:
@@ -109,8 +164,14 @@ class ParallelRunner:
         self.cache_hits = 0
         self.cache_misses = 0
 
-    def run(self, tasks: Iterable[GridTask]) -> list[SessionMetrics]:
-        """Execute ``tasks``; results come back in task order."""
+    def run(self, tasks: Iterable[GridTask],
+            observer: Optional["FleetObserver"] = None,
+            ) -> list[SessionMetrics]:
+        """Execute ``tasks``; results come back in task order.
+
+        With an ``observer``, every completed cell (cache hit or fresh)
+        is streamed to it in completion order as it lands.
+        """
         tasks = list(tasks)
         results: list[Optional[SessionMetrics]] = [None] * len(tasks)
         keys: list[Optional[str]] = [None] * len(tasks)
@@ -119,6 +180,9 @@ class ParallelRunner:
         cache = self.cache
         if cache is not None:
             for i, task in enumerate(tasks):
+                if task.instrumented:
+                    todo.append(i)      # bypass: don't count, don't store
+                    continue
                 key = cache.make_key(task.baseline, task.session_config(),
                                      task.trace, task.category,
                                      task.build_kwargs)
@@ -128,25 +192,43 @@ class ParallelRunner:
                     cached.bandwidth_fn = task.trace.rate_at
                     results[i] = cached
                     self.cache_hits += 1
+                    if observer is not None:
+                        observer.cell_done(i, task.key(), source="cache")
                 else:
                     todo.append(i)
                     self.cache_misses += 1
         else:
             todo = list(range(len(tasks)))
 
+        def _finish(i: int, metrics: SessionMetrics, *, source: str,
+                    pid: Optional[int], wall_s: float) -> None:
+            metrics.bandwidth_fn = tasks[i].trace.rate_at
+            if cache is not None and keys[i] is not None:
+                cache.put(keys[i], metrics)
+            results[i] = metrics
+            if observer is not None:
+                observer.cell_done(i, tasks[i].key(), source=source,
+                                   wall_s=wall_s, pid=pid)
+
         if todo:
-            pending = [tasks[i] for i in todo]
-            if self.jobs <= 1 or len(pending) <= 1:
-                fresh = [_run_task(task) for task in pending]
+            if self.jobs <= 1 or len(todo) <= 1:
+                for i in todo:
+                    t0 = perf_counter()
+                    metrics = _run_task(tasks[i])
+                    _finish(i, metrics, source="inline", pid=os.getpid(),
+                            wall_s=perf_counter() - t0)
             else:
-                workers = min(self.jobs, len(pending))
+                workers = min(self.jobs, len(todo))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(pool.map(_run_task, pending))
-            for i, metrics in zip(todo, fresh):
-                metrics.bandwidth_fn = tasks[i].trace.rate_at
-                if cache is not None and keys[i] is not None:
-                    cache.put(keys[i], metrics)
-                results[i] = metrics
+                    futures = {pool.submit(_run_cell, i, tasks[i])
+                               for i in todo}
+                    while futures:
+                        done, futures = wait(futures,
+                                             return_when=FIRST_COMPLETED)
+                        for future in done:
+                            i, metrics, pid, wall_s = future.result()
+                            _finish(i, metrics, source="worker", pid=pid,
+                                    wall_s=wall_s)
         return results  # type: ignore[return-value]
 
     def counters(self) -> str:
@@ -182,6 +264,8 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
              use_cache: bool = False,
              build_kwargs: Optional[dict] = None,
              runner: Optional[ParallelRunner] = None,
+             run_dir: Optional[str] = None,
+             verbose: bool = False,
              ) -> dict[tuple, SessionMetrics]:
     """Run a (baseline x trace x seed x category) grid.
 
@@ -191,6 +275,12 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
     ``use_cache=True`` (or an explicit ``cache``) to memoize results on
     disk, and ``runner=`` to reuse a runner and accumulate its counters
     across calls.
+
+    ``run_dir=`` turns on fleet observability: the grid writes
+    ``manifest.json`` up front, streams ``cells.jsonl`` (completions +
+    heartbeats) while running, and leaves ``results.json`` +
+    ``summary.json`` behind for ``repro report``. ``verbose=True``
+    echoes heartbeats and the cache-counter summary line to stdout.
     """
     tasks = make_grid(baselines, traces, seeds=seeds, categories=categories,
                       duration=duration, fps=fps,
@@ -200,7 +290,20 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
         if cache is None and use_cache:
             cache = ResultCache()
         runner = ParallelRunner(jobs=jobs, cache=cache)
-    metrics = runner.run(tasks)
+
+    observer = None
+    if run_dir is not None:
+        from repro.obs.fleet import FleetObserver, build_manifest
+        cache_obj = runner.cache
+        observer = FleetObserver(run_dir, total=len(tasks), jobs=runner.jobs,
+                                 echo=print if verbose else None)
+        observer.write_manifest(build_manifest(
+            tasks, jobs=runner.jobs,
+            cache_enabled=cache_obj is not None and cache_obj.enabled,
+            cache_dir=(str(cache_obj.cache_dir)
+                       if cache_obj is not None else None)))
+
+    metrics = runner.run(tasks, observer=observer)
     out: dict[tuple, SessionMetrics] = {}
     for task, m in zip(tasks, metrics):
         key = task.key()
@@ -208,4 +311,21 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
             raise ValueError(f"duplicate grid cell {key!r} "
                              "(trace names must be unique)")
         out[key] = m
+
+    if observer is not None:
+        from repro.analysis.results import RunResult
+        observer.write_results([
+            RunResult.from_metrics(m, baseline=task.baseline,
+                                   trace=task.trace.name,
+                                   seed=task.session_config().seed,
+                                   category=task.category)
+            for task, m in zip(tasks, metrics)])
+        cache_counters = None
+        if runner.cache is not None:
+            c = runner.cache
+            cache_counters = {"hits": c.hits, "misses": c.misses,
+                              "stores": c.stores}
+        observer.finalize(cache_counters)
+    if verbose:
+        print(runner.counters())
     return out

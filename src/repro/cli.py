@@ -301,6 +301,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
                             category=args.category,
                             cc_override=args.cc, codec_override=args.codec)
     telemetry = session.enable_telemetry()
+    profiler = None
+    if args.profile:
+        from repro.obs import LoopProfiler
+        profiler = session.loop.set_profiler(LoopProfiler())
     session.run()
     print(f"{args.baseline} over {args.trace} ({args.duration:.0f}s): "
           f"{len(telemetry.events)} telemetry records, "
@@ -341,10 +345,106 @@ def cmd_trace(args: argparse.Namespace) -> int:
             if args.frame is None:
                 print("worst end-to-end frame:")
             print(render_span_timeline(span))
+    if args.attrib:
+        from repro.obs import render_rollup
+        print()
+        print(render_rollup(session.attribution()))
+    if profiler is not None:
+        print()
+        print(profiler.render())
     if args.out:
         jsonl, snapshot = write_export_dir(telemetry, args.out)
         print(f"wrote {jsonl} and {snapshot}")
     return status
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    """``repro why``: causal blame for pacer-residence latency.
+
+    Runs one session, then prints which ACE-N decisions (Algorithm 1
+    branches) each slow frame's pacer residence is attributable to —
+    ``--frame N`` for one frame, otherwise the worst ``--frames K``
+    frames — plus the session-level rollup.
+    """
+    from repro.obs import render_frame_blame, render_rollup
+
+    trace = make_trace(args.trace, args.seed, args.duration + 10)
+    config = SessionConfig(
+        duration=args.duration, seed=args.seed, fps=args.fps,
+        base_rtt=args.rtt / 1000.0, initial_bwe_bps=args.initial_bwe * 1e6,
+    )
+    session = build_session(args.baseline, trace, config,
+                            category=args.category,
+                            cc_override=args.cc, codec_override=args.codec)
+    session.run()
+    attribution = session.attribution()
+    if len(attribution) == 0:
+        print("no frames completed the pacer; nothing to attribute")
+        return 1
+    print(f"{args.baseline} over {args.trace} ({args.duration:.0f}s, "
+          f"{args.category}): {len(attribution)} frames attributed")
+    print()
+    if args.frame is not None:
+        blame = attribution.get(args.frame)
+        if blame is None:
+            print(f"frame {args.frame} has no pacer stamps "
+                  "(never fully left the pacer, or id out of range)")
+            return 1
+        print(render_frame_blame(blame))
+    else:
+        for blame in attribution.worst(args.frames):
+            print(render_frame_blame(blame))
+            print()
+    print(render_rollup(attribution))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: roll a grid run directory into tables.
+
+    With ``--diff OTHER`` also compares aggregate means against another
+    run directory and exits 1 when any metric regressed beyond
+    ``--tolerance``.
+    """
+    from repro.obs import diff_runs, report_run
+
+    print(report_run(args.run_dir))
+    if args.diff is not None:
+        text, regressions = diff_runs(args.run_dir, args.diff,
+                                      tolerance=args.tolerance)
+        print()
+        print(text)
+        return 1 if regressions else 0
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    """``repro grid``: run a baselines x traces x seeds sweep.
+
+    With ``--run-dir`` the sweep writes a fleet run directory (manifest,
+    streaming cell log with heartbeats, results, summary) that
+    ``repro report`` can roll up or diff later.
+    """
+    from repro.bench.parallel import run_grid
+    from repro.obs import report_run
+
+    baselines = [b.strip() for b in args.baselines.split(",")]
+    seeds = [int(s) for s in args.seeds.split(",")]
+    traces = [make_trace(kind.strip(), args.seed, args.duration + 10)
+              for kind in args.traces.split(",")]
+    results = run_grid(baselines, traces, seeds=seeds,
+                       duration=args.duration, fps=args.fps,
+                       initial_bwe_bps=args.initial_bwe * 1e6,
+                       jobs=args.jobs, use_cache=args.cache,
+                       run_dir=args.run_dir, verbose=True)
+    if args.run_dir is not None:
+        print()
+        print(report_run(args.run_dir))
+    else:
+        rows = [metrics_row("/".join(str(part) for part in key), m)
+                for key, m in results.items()]
+        print_table(f"grid: {len(results)} cells", HEADERS, rows)
+    return 0
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
@@ -518,8 +618,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--out", default=None, metavar="DIR",
                       help="also write the JSONL event log + Prometheus "
                            "snapshot into DIR")
+    p_tr.add_argument("--attrib", action="store_true",
+                      help="print the session-level pacer-residence "
+                           "attribution rollup (see `repro why`)")
+    p_tr.add_argument("--profile", action="store_true",
+                      help="self-profile the event loop and print the "
+                           "per-event-type callback table")
     _add_common(p_tr)
     p_tr.set_defaults(func=cmd_trace)
+
+    p_why = sub.add_parser(
+        "why",
+        help="attribute frames' pacer-residence latency to ACE-N "
+             "decisions (frame blame)")
+    p_why.add_argument("--baseline", default="ace")
+    p_why.add_argument("--frame", type=int, default=None,
+                       help="attribute this frame id instead of the worst")
+    p_why.add_argument("--frames", type=int, default=3,
+                       help="how many worst frames to show (default 3)")
+    _add_common(p_why)
+    p_why.set_defaults(func=cmd_why)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="roll a grid run directory into aggregate tables; diff two "
+             "runs for regressions")
+    p_rep.add_argument("run_dir", help="run directory from `repro grid "
+                                       "--run-dir` / run_grid(run_dir=...)")
+    p_rep.add_argument("--diff", default=None, metavar="OTHER_RUN_DIR",
+                       help="compare against this run directory; exit 1 "
+                            "on regressions")
+    p_rep.add_argument("--tolerance", type=float, default=0.05,
+                       help="relative worsening that counts as a "
+                            "regression (default 0.05)")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_grid = sub.add_parser(
+        "grid",
+        help="run a baselines x traces x seeds grid, optionally into a "
+             "fleet run directory")
+    p_grid.add_argument("--baselines", default="ace,webrtc-star",
+                        help="comma-separated baseline names")
+    p_grid.add_argument("--traces", default="wifi",
+                        help="comma-separated trace kinds")
+    p_grid.add_argument("--seeds", default="1,2,3",
+                        help="comma-separated session seeds")
+    p_grid.add_argument("--run-dir", default=None, dest="run_dir",
+                        metavar="DIR",
+                        help="write manifest/cells.jsonl/results/summary "
+                             "into DIR for `repro report`")
+    _add_common(p_grid)
+    p_grid.set_defaults(func=cmd_grid)
 
     p_sc = sub.add_parser("scenario",
                           help="run a named paper-experiment scenario")

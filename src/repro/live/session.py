@@ -275,6 +275,17 @@ class LiveSession:
             metrics.bandwidth_fn = self.trace.rate_at
         return metrics
 
+    def attribution(self):
+        """Causal pacer-residence attribution of the finished run.
+
+        Live frames carry the same ``pacer_enqueue``/``pacer_last_exit``
+        stamps as sim frames (wall-clock times here), and ACE-N records
+        its decision log identically — so frame blame works unchanged.
+        Returns a :class:`~repro.obs.attrib.SessionAttribution`.
+        """
+        from repro.obs import attribute_session
+        return attribute_session(self)
+
 
 def build_live_session(baseline: str, config: Optional[LiveConfig] = None,
                        trace: Optional[BandwidthTrace] = None,

@@ -12,8 +12,35 @@ never mutates component state, and never advances lazy-refill token
 arithmetic — a session with telemetry attached is bit-identical to one
 without (guarded by the golden fingerprints in
 ``tests/test_sim_regression.py``).
+
+Beyond the single session, the subsystem scales in two directions:
+*down* into the event loop (:mod:`repro.obs.profiler` counts and times
+every dispatched callback) and causal attribution
+(:mod:`repro.obs.attrib` partitions each frame's pacer residence across
+the ACE-N decisions active while it waited), and *up* to the fleet
+(:mod:`repro.obs.fleet` gives grid runs manifests, heartbeats, and
+diffable run directories).
 """
 
+from repro.obs.attrib import (
+    BLAME_CATEGORIES,
+    BlameSegment,
+    FrameBlame,
+    SessionAttribution,
+    attribute_frames,
+    attribute_metrics,
+    attribute_session,
+    render_frame_blame,
+    render_rollup,
+)
+from repro.obs.fleet import (
+    FleetObserver,
+    build_manifest,
+    diff_runs,
+    load_run,
+    report_run,
+)
+from repro.obs.profiler import LoopProfiler, ProfileEntry
 from repro.obs.recorder import FlightRecorder, Telemetry, TelemetryRecord
 from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
 from repro.obs.spans import SPAN_STAGES, FrameSpan, SpanBook
@@ -29,21 +56,37 @@ from repro.obs.export import (
 from repro.obs.wiring import instrument_stack
 
 __all__ = [
+    "BLAME_CATEGORIES",
+    "BlameSegment",
     "Counter",
+    "FleetObserver",
     "FlightRecorder",
+    "FrameBlame",
     "FrameSpan",
     "Gauge",
     "Histogram",
+    "LoopProfiler",
     "MetricRegistry",
+    "ProfileEntry",
     "SPAN_STAGES",
+    "SessionAttribution",
     "SpanBook",
     "Telemetry",
     "TelemetryRecord",
+    "attribute_frames",
+    "attribute_metrics",
+    "attribute_session",
+    "build_manifest",
+    "diff_runs",
     "filter_records",
     "instrument_stack",
+    "load_run",
     "prometheus_snapshot",
+    "render_frame_blame",
     "render_record",
+    "render_rollup",
     "render_span_timeline",
+    "report_run",
     "write_export_dir",
     "write_jsonl",
     "write_snapshot",

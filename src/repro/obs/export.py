@@ -56,30 +56,67 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label(value: str) -> str:
+    """Label-value escaping per the text exposition format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP-text escaping: backslash and newline only (no quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels_str(labels, extra: Optional[dict] = None) -> str:
+    """Rendered ``{k="v",...}`` block (sorted keys), or ``""`` if none."""
+    merged: dict = dict(labels or {})
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in sorted(merged.items())]
+    return "{" + ",".join(parts) + "}"
+
+
+def _header(lines: list[str], prom: str, kind: str, help_text: str) -> None:
+    if help_text:
+        lines.append(f"# HELP {prom} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {prom} {kind}")
+
+
 def prometheus_snapshot(registry: "MetricRegistry") -> str:
-    """Prometheus text-format snapshot of every registered metric."""
+    """Prometheus text-format snapshot of every registered metric.
+
+    Output order is fully deterministic — counters, then gauges, then
+    histograms, each sorted by name — so two snapshots of equal
+    registries are byte-identical and diffs stay readable.
+    """
     lines: list[str] = []
     for name in sorted(registry.counters):
         counter = registry.counters[name]
         prom = _prom_name(name) + "_total"
-        lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {_prom_value(counter.value)}")
+        _header(lines, prom, "counter", counter.help)
+        lines.append(f"{prom}{_labels_str(counter.labels)} "
+                     f"{_prom_value(counter.value)}")
     for name in sorted(registry.gauges):
         gauge = registry.gauges[name]
         if gauge.value is None:
             continue
         prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {_prom_value(gauge.value)}")
+        _header(lines, prom, "gauge", gauge.help)
+        lines.append(f"{prom}{_labels_str(gauge.labels)} "
+                     f"{_prom_value(gauge.value)}")
     for name in sorted(registry.histograms):
         hist = registry.histograms[name]
         prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} histogram")
+        _header(lines, prom, "histogram", hist.help)
         for bound, cumulative in hist.cumulative():
             le = "+Inf" if bound == math.inf else repr(float(bound))
-            lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
-        lines.append(f"{prom}_sum {_prom_value(hist.sum)}")
-        lines.append(f"{prom}_count {hist.count}")
+            labels = _labels_str(hist.labels, {"le": le})
+            lines.append(f"{prom}_bucket{labels} {cumulative}")
+        base = _labels_str(hist.labels)
+        lines.append(f"{prom}_sum{base} {_prom_value(hist.sum)}")
+        lines.append(f"{prom}_count{base} {hist.count}")
     return "\n".join(lines) + "\n"
 
 

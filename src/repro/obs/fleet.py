@@ -1,0 +1,359 @@
+"""Fleet observability for experiment grids: manifests, heartbeats, reports.
+
+A single session has spans and metrics (:mod:`repro.obs.recorder`); a
+*sweep* of hundreds of cells needs run-level observability — what grid
+ran, how far along it is, which workers are dragging, and how the
+results compare to the last run. This module gives a grid run a **run
+directory** with three artifacts:
+
+* ``manifest.json`` — the full grid spec (baselines, traces with
+  content fingerprints, seeds, categories), worker count, cache
+  configuration, and the source hash
+  (:func:`~repro.analysis.cache.code_version`) so a run directory is
+  self-describing and reproducible.
+* ``cells.jsonl`` — a streaming log: one record per completed cell
+  (task key, worker pid, wall seconds, cache hit or fresh run) plus
+  periodic heartbeat records carrying per-worker completed/total, an
+  ETA, running cache hit/miss counters, and flagged stragglers.
+* ``results.json`` / ``summary.json`` — per-cell
+  :class:`~repro.analysis.results.RunResult` records and the final
+  rollup (wall time, per-worker stats, cache counters, stragglers).
+
+``repro report <run-dir>`` turns a run directory into aggregate tables
+(reusing :func:`repro.analysis.aggregate.aggregate` /
+:func:`~repro.analysis.aggregate.paired_compare`) and diffs two run
+directories for regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.analysis.aggregate import (METRICS, aggregate, paired_compare,
+                                      render_aggregate)
+from repro.analysis.results import RunResult, load_results, save_results
+
+if TYPE_CHECKING:
+    from repro.bench.parallel import GridTask
+
+#: metrics where a *larger* value is the better one (diff direction).
+HIGHER_IS_BETTER = {"mean_vmaf", "received_fps"}
+
+#: default relative worsening that counts as a regression in diffs.
+DEFAULT_DIFF_TOLERANCE = 0.05
+
+#: a completed cell this many times slower than the median is a straggler.
+DEFAULT_STRAGGLER_FACTOR = 3.0
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+def build_manifest(tasks: Sequence["GridTask"], *, jobs: int,
+                   cache_enabled: bool = False,
+                   cache_dir: Optional[str] = None,
+                   extra: Optional[dict] = None) -> dict:
+    """Self-describing spec of a grid run (JSON-safe)."""
+    from repro.analysis.cache import code_version, trace_fingerprint
+
+    traces: dict[str, str] = {}
+    baselines: list[str] = []
+    seeds: list[int] = []
+    categories: list[str] = []
+    durations: list[float] = []
+    for task in tasks:
+        if task.trace.name not in traces:
+            traces[task.trace.name] = trace_fingerprint(task.trace)
+        cfg = task.session_config()
+        for value, pool in ((task.baseline, baselines), (cfg.seed, seeds),
+                            (task.category, categories),
+                            (cfg.duration, durations)):
+            if value not in pool:
+                pool.append(value)
+    return {
+        "kind": "repro-grid-run",
+        "created_unix": time.time(),
+        "cells": len(tasks),
+        "baselines": baselines,
+        "traces": traces,
+        "seeds": seeds,
+        "categories": categories,
+        "durations": durations,
+        "jobs": jobs,
+        "cache": {"enabled": cache_enabled, "dir": cache_dir},
+        "code_version": code_version(),
+        "keys": [list(task.key()) for task in tasks],
+        **(extra or {}),
+    }
+
+
+class FleetObserver:
+    """Streams grid progress into a run directory.
+
+    The :class:`~repro.bench.parallel.ParallelRunner` calls
+    :meth:`cell_done` as cells finish (in completion order, not task
+    order); the observer appends one JSONL record per cell, emits a
+    heartbeat record every ``heartbeat_every`` completions, tracks
+    per-worker (pid) statistics, and flags stragglers. ``echo`` gets the
+    heartbeat lines for interactive output (``print`` in the CLI).
+    """
+
+    def __init__(self, run_dir: str | Path, total: int, *, jobs: int = 1,
+                 heartbeat_every: int = 5,
+                 straggler_factor: float = DEFAULT_STRAGGLER_FACTOR,
+                 echo: Optional[Callable[[str], None]] = None) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.heartbeat_every = max(1, heartbeat_every)
+        self.straggler_factor = straggler_factor
+        self.echo = echo
+        self.done = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: pid -> {"cells": n, "wall_s": total}
+        self.workers: dict[int, dict] = {}
+        self.stragglers: list[dict] = []
+        self._worker_walls: list[float] = []
+        self._started = time.monotonic()
+        self._cells_path = self.run_dir / "cells.jsonl"
+        self._cells_path.write_text("")  # truncate: one run, one log
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def write_manifest(self, manifest: dict) -> Path:
+        path = self.run_dir / "manifest.json"
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def _append(self, record: dict) -> None:
+        with self._cells_path.open("a") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def cell_done(self, index: int, key: tuple, *, source: str,
+                  wall_s: float = 0.0, pid: Optional[int] = None) -> None:
+        """One grid cell finished. ``source``: ``cache``/``worker``/``inline``."""
+        self.done += 1
+        if source == "cache":
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            self._worker_walls.append(wall_s)
+            wid = pid if pid is not None else os.getpid()
+            stats = self.workers.setdefault(wid, {"cells": 0, "wall_s": 0.0})
+            stats["cells"] += 1
+            stats["wall_s"] += wall_s
+        record = {"kind": "cell", "index": index, "key": list(key),
+                  "source": source, "wall_s": round(wall_s, 6), "pid": pid,
+                  "done": self.done, "total": self.total,
+                  "elapsed_s": round(self.elapsed_s, 6)}
+        straggler = self._check_straggler(index, key, source, wall_s)
+        if straggler:
+            record["straggler"] = True
+        self._append(record)
+        if self.done % self.heartbeat_every == 0 or self.done == self.total:
+            self.heartbeat()
+
+    def _check_straggler(self, index: int, key: tuple, source: str,
+                         wall_s: float) -> bool:
+        """Flag cells far slower than the median completed cell."""
+        if source == "cache" or len(self._worker_walls) < 4:
+            return False
+        median = statistics.median(self._worker_walls)
+        if median <= 0 or wall_s <= self.straggler_factor * median:
+            return False
+        self.stragglers.append({"index": index, "key": list(key),
+                                "wall_s": round(wall_s, 6),
+                                "median_s": round(median, 6)})
+        return True
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def eta_s(self) -> Optional[float]:
+        """Projected seconds to completion from mean fresh-cell wall time."""
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if not self._worker_walls:
+            return None
+        mean = sum(self._worker_walls) / len(self._worker_walls)
+        return remaining * mean / self.jobs
+
+    def heartbeat(self) -> dict:
+        """Emit (and return) one heartbeat record."""
+        eta = self.eta_s()
+        record = {
+            "kind": "heartbeat", "done": self.done, "total": self.total,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "eta_s": None if eta is None else round(eta, 6),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "workers": {str(pid): dict(stats)
+                        for pid, stats in sorted(self.workers.items())},
+            "stragglers": len(self.stragglers),
+        }
+        self._append(record)
+        if self.echo is not None:
+            eta_s = "?" if eta is None else f"{eta:.1f}s"
+            self.echo(
+                f"grid: {self.done}/{self.total} cells "
+                f"({self.cache_hits} cached) in {self.elapsed_s:.1f}s, "
+                f"eta {eta_s}, {len(self.workers)} worker(s)"
+                + (f", {len(self.stragglers)} straggler(s)"
+                   if self.stragglers else ""))
+        return record
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def finalize(self, cache_counters: Optional[dict] = None) -> dict:
+        """Write ``summary.json``; returns the summary dict."""
+        summary = {
+            "cells": self.total,
+            "completed": self.done,
+            "wall_s": round(self.elapsed_s, 6),
+            "jobs": self.jobs,
+            "cache": dict(cache_counters
+                          or {"hits": self.cache_hits,
+                              "misses": self.cache_misses, "stores": None}),
+            "workers": {str(pid): dict(stats)
+                        for pid, stats in sorted(self.workers.items())},
+            "stragglers": self.stragglers,
+        }
+        (self.run_dir / "summary.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        return summary
+
+    def write_results(self, results: Sequence[RunResult]) -> Path:
+        path = self.run_dir / "results.json"
+        save_results(results, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# loading and reporting run directories
+# ----------------------------------------------------------------------
+def load_run(run_dir: str | Path) -> tuple[dict, list[RunResult], dict]:
+    """Load ``(manifest, results, summary)`` from a run directory."""
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / "manifest.json"
+    results_path = run_dir / "results.json"
+    if not manifest_path.is_file() or not results_path.is_file():
+        raise FileNotFoundError(
+            f"{run_dir} is not a grid run directory "
+            "(missing manifest.json/results.json — produce one with "
+            "`repro grid --run-dir` or run_grid(run_dir=...))")
+    manifest = json.loads(manifest_path.read_text())
+    results = load_results(results_path)
+    summary_path = run_dir / "summary.json"
+    summary = (json.loads(summary_path.read_text())
+               if summary_path.is_file() else {})
+    return manifest, results, summary
+
+
+def report_run(run_dir: str | Path) -> str:
+    """Aggregate tables + paired comparisons for one run directory."""
+    manifest, results, summary = load_run(run_dir)
+    lines = [
+        f"run {Path(run_dir)}: {manifest['cells']} cells, "
+        f"baselines {', '.join(manifest['baselines'])} x "
+        f"traces {', '.join(manifest['traces'])} x "
+        f"seeds {manifest['seeds']} (code {manifest['code_version']})",
+    ]
+    if summary:
+        cache = summary.get("cache", {})
+        workers = summary.get("workers", {})
+        lines.append(
+            f"ran in {summary.get('wall_s', 0.0):.1f}s on "
+            f"{len(workers) or summary.get('jobs', 1)} worker(s); "
+            f"cache hits={cache.get('hits')} misses={cache.get('misses')} "
+            f"stores={cache.get('stores')}")
+        for straggler in summary.get("stragglers", []):
+            lines.append(f"straggler: cell {straggler['key']} took "
+                         f"{straggler['wall_s']:.2f}s "
+                         f"(median {straggler['median_s']:.2f}s)")
+    lines.append("")
+    lines.append(render_aggregate(aggregate(results)))
+    reference = manifest["baselines"][0]
+    others = [b for b in manifest["baselines"] if b != reference]
+    if others:
+        lines.append("")
+        lines.append(f"paired comparisons vs {reference}:")
+        for baseline in others:
+            for metric in ("p95_latency", "mean_vmaf"):
+                cmp = paired_compare(results, baseline, reference,
+                                     metric=metric)
+                if cmp.n == 0:
+                    lines.append(f"  {baseline:<14} {metric:<12} "
+                                 "no paired workloads")
+                    continue
+                # diffs are (row - reference); flip the win direction
+                # for metrics where larger is better.
+                if metric in HIGHER_IS_BETTER:
+                    wins = sum(1 for d in cmp.diffs if d > 0)
+                else:
+                    wins = cmp.wins
+                lines.append(
+                    f"  {baseline:<14} {metric:<12} mean diff "
+                    f"{cmp.mean_diff:+.4f} over {cmp.n} workloads, "
+                    f"wins {wins}/{cmp.n}"
+                    + ("  [consistent]" if wins == cmp.n else ""))
+    return "\n".join(lines)
+
+
+def diff_runs(candidate_dir: str | Path, reference_dir: str | Path,
+              tolerance: float = DEFAULT_DIFF_TOLERANCE,
+              metrics: Sequence[str] = METRICS,
+              ) -> tuple[str, list[dict]]:
+    """Regression diff of two run directories.
+
+    Compares per-baseline aggregate means of ``candidate`` against
+    ``reference``; a metric that worsened by more than ``tolerance``
+    (relative, direction-aware: latency/loss down is good, VMAF/fps up
+    is good) is a regression. Returns ``(report text, regressions)``.
+    """
+    _, cand_results, _ = load_run(candidate_dir)
+    _, ref_results, _ = load_run(reference_dir)
+    cand = aggregate(cand_results, metrics=metrics)
+    ref = aggregate(ref_results, metrics=metrics)
+    lines = [f"diff: {Path(candidate_dir)} vs {Path(reference_dir)} "
+             f"(tolerance {tolerance:.0%})"]
+    regressions: list[dict] = []
+    for baseline in sorted(set(cand) & set(ref)):
+        for metric in metrics:
+            new = cand[baseline][metric].mean
+            old = ref[baseline][metric].mean
+            if new != new or old != old:  # NaN on either side
+                continue
+            if old == 0.0:
+                rel = 0.0 if new == 0.0 else float("inf")
+            else:
+                rel = (new - old) / abs(old)
+            worsened = -rel if metric in HIGHER_IS_BETTER else rel
+            flag = "~"
+            if worsened > tolerance:
+                flag = "REGRESSED"
+                regressions.append({"baseline": baseline, "metric": metric,
+                                    "old": old, "new": new, "rel": rel})
+            elif worsened < -tolerance:
+                flag = "improved"
+            lines.append(f"  {baseline:<14} {metric:<14} "
+                         f"{old:>12.6g} -> {new:>12.6g} "
+                         f"({rel:+.1%})  {flag}")
+    only = sorted(set(cand) ^ set(ref))
+    for baseline in only:
+        side = "candidate" if baseline in cand else "reference"
+        lines.append(f"  {baseline:<14} only in {side} run")
+    lines.append(f"{len(regressions)} regression(s)")
+    return "\n".join(lines), regressions

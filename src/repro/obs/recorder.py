@@ -100,10 +100,14 @@ class Telemetry:
         self.events: list[TelemetryRecord] = []
         self.flight = FlightRecorder(flight_capacity)
         self._tick_handle: Optional["ScheduledCall"] = None
-        self._frames_encoded = self.registry.counter("frames.encoded")
-        self._frames_displayed = self.registry.counter("frames.displayed")
-        self._e2e_hist = self.registry.histogram("frame.e2e_s")
-        self._pacing_hist = self.registry.histogram("frame.pacing_s")
+        self._frames_encoded = self.registry.counter(
+            "frames.encoded", help="Frames produced by the encoder")
+        self._frames_displayed = self.registry.counter(
+            "frames.displayed", help="Frames that reached display")
+        self._e2e_hist = self.registry.histogram(
+            "frame.e2e_s", help="End-to-end frame latency in seconds")
+        self._pacing_hist = self.registry.histogram(
+            "frame.pacing_s", help="Pacer-residence time per frame in seconds")
 
     # ------------------------------------------------------------------
     # clock / tick plumbing

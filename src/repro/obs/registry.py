@@ -28,11 +28,14 @@ RecordHook = Optional[Callable[[str, str, float], None]]
 class Counter:
     """Monotonic counter. ``inc`` feeds the record hook on every bump."""
 
-    __slots__ = ("name", "value", "_record")
+    __slots__ = ("name", "value", "help", "labels", "_record")
 
-    def __init__(self, name: str, record: RecordHook = None) -> None:
+    def __init__(self, name: str, record: RecordHook = None,
+                 help: str = "", labels: Optional[dict] = None) -> None:
         self.name = name
         self.value = 0.0
+        self.help = help
+        self.labels = labels
         self._record = record
 
     def inc(self, amount: float = 1.0) -> None:
@@ -44,13 +47,16 @@ class Counter:
 class Gauge:
     """Last-value gauge; records a sample only when the value changes."""
 
-    __slots__ = ("name", "value", "sample_fn", "_record")
+    __slots__ = ("name", "value", "sample_fn", "help", "labels", "_record")
 
     def __init__(self, name: str, record: RecordHook = None,
-                 sample_fn: Optional[Callable[[], float]] = None) -> None:
+                 sample_fn: Optional[Callable[[], float]] = None,
+                 help: str = "", labels: Optional[dict] = None) -> None:
         self.name = name
         self.value: Optional[float] = None
         self.sample_fn = sample_fn
+        self.help = help
+        self.labels = labels
         self._record = record
 
     def set(self, value: float) -> None:
@@ -73,11 +79,15 @@ class Histogram:
     hot path may observe per packet without flooding the event log.
     """
 
-    __slots__ = ("name", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "help",
+                 "labels")
 
     def __init__(self, name: str,
-                 buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S) -> None:
+                 buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+                 help: str = "", labels: Optional[dict] = None) -> None:
         self.name = name
+        self.help = help
+        self.labels = labels
         self.buckets = tuple(sorted(buckets))
         self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
         self.sum = 0.0
@@ -114,27 +124,39 @@ class MetricRegistry:
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, help: str = "",
+                labels: Optional[dict] = None) -> Counter:
         c = self.counters.get(name)
         if c is None:
-            c = self.counters[name] = Counter(name, self._record)
+            c = self.counters[name] = Counter(name, self._record,
+                                              help=help, labels=labels)
+        elif help and not c.help:
+            c.help = help
         return c
 
     def gauge(self, name: str,
-              sample_fn: Optional[Callable[[], float]] = None) -> Gauge:
+              sample_fn: Optional[Callable[[], float]] = None,
+              help: str = "", labels: Optional[dict] = None) -> Gauge:
         g = self.gauges.get(name)
         if g is None:
-            g = self.gauges[name] = Gauge(name, self._record, sample_fn)
-        elif sample_fn is not None:
-            g.sample_fn = sample_fn
+            g = self.gauges[name] = Gauge(name, self._record, sample_fn,
+                                          help=help, labels=labels)
+        else:
+            if sample_fn is not None:
+                g.sample_fn = sample_fn
+            if help and not g.help:
+                g.help = help
         return g
 
     def histogram(self, name: str,
-                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S
-                  ) -> Histogram:
+                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+                  help: str = "", labels: Optional[dict] = None) -> Histogram:
         h = self.histograms.get(name)
         if h is None:
-            h = self.histograms[name] = Histogram(name, buckets)
+            h = self.histograms[name] = Histogram(name, buckets, help=help,
+                                                  labels=labels)
+        elif help and not h.help:
+            h.help = help
         return h
 
     def sample_all(self) -> None:

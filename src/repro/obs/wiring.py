@@ -57,32 +57,44 @@ def instrument_stack(telemetry: "Telemetry", *,
     registry = telemetry.registry
     if pacer is not None:
         registry.gauge("pacer.backlog_bytes",
-                       sample_fn=lambda p=pacer: p.queued_bytes)
+                       sample_fn=lambda p=pacer: p.queued_bytes,
+                       help="Bytes queued in the pacer")
         registry.gauge("pacer.backlog_packets",
-                       sample_fn=lambda p=pacer: p.queued_packets)
+                       sample_fn=lambda p=pacer: p.queued_packets,
+                       help="Packets queued in the pacer")
         registry.gauge("pacer.pacing_rate_bps",
-                       sample_fn=lambda p=pacer: p.pacing_rate_bps)
+                       sample_fn=lambda p=pacer: p.pacing_rate_bps,
+                       help="Current pacing rate in bits per second")
         if isinstance(pacer, TokenBucketPacer):
             registry.gauge(
                 "bucket.token_level_bytes",
-                sample_fn=lambda p=pacer, t=telemetry: _virtual_tokens(p, t))
+                sample_fn=lambda p=pacer, t=telemetry: _virtual_tokens(p, t),
+                help="Token-bucket fill level in bytes")
             registry.gauge("bucket.size_bytes",
-                           sample_fn=lambda p=pacer: p.bucket_bytes)
+                           sample_fn=lambda p=pacer: p.bucket_bytes,
+                           help="Token-bucket capacity in bytes")
             registry.gauge("bucket.token_rate_bps",
-                           sample_fn=lambda p=pacer: p.bucket.rate_bps)
+                           sample_fn=lambda p=pacer: p.bucket.rate_bps,
+                           help="Token refill rate in bits per second")
     if cc is not None:
-        registry.gauge("cc.bwe_bps", sample_fn=lambda c=cc: c.bwe_bps)
+        registry.gauge("cc.bwe_bps", sample_fn=lambda c=cc: c.bwe_bps,
+                       help="Bandwidth estimate in bits per second")
     if ace_n is not None:
         registry.gauge("ace.bucket_bytes",
-                       sample_fn=lambda a=ace_n: a.bucket_bytes)
+                       sample_fn=lambda a=ace_n: a.bucket_bytes,
+                       help="ACE-N controller bucket size in bytes")
         registry.gauge("ace.est_queue_bytes",
-                       sample_fn=lambda a=ace_n: _est_queue_bytes(a))
+                       sample_fn=lambda a=ace_n: _est_queue_bytes(a),
+                       help="ACE-N estimated network queue in bytes")
         registry.gauge("ace.decisions",
-                       sample_fn=lambda a=ace_n: len(a.decisions))
+                       sample_fn=lambda a=ace_n: len(a.decisions),
+                       help="ACE-N control decisions recorded so far")
     if link is not None:
         registry.gauge("link.queue_bytes",
-                       sample_fn=lambda l=link: l.queued_bytes)
-        drops = registry.counter("link.drop_packets")
+                       sample_fn=lambda l=link: l.queued_bytes,
+                       help="Bytes queued in the bottleneck link")
+        drops = registry.counter("link.drop_packets",
+                                 help="Packets dropped at the link queue")
         orig_on_drop = link.on_drop
 
         def on_drop(packet, _orig=orig_on_drop, _c=drops):

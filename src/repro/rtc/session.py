@@ -263,9 +263,10 @@ class RtcSession:
 
         With ``REPRO_AUDIT=1`` in the environment a strict
         :class:`~repro.audit.auditor.SessionAuditor` rides along and
-        raises at the first invariant violation (the env var reaches
-        :class:`~repro.bench.parallel.ParallelRunner` workers too, so
-        whole grids can run self-checking).
+        raises at the first invariant violation. The env vars affect
+        directly-run sessions only: grid workers strip them
+        (:mod:`repro.bench.parallel`), so instrumenting a sweep is an
+        explicit per-:class:`~repro.bench.parallel.GridTask` choice.
         """
         if self._finished:
             raise RuntimeError("session already ran; build a new one")
@@ -295,6 +296,16 @@ class RtcSession:
         if auditor is not None:
             auditor.finalize()
         return self._collect()
+
+    def attribution(self):
+        """Causal pacer-residence attribution of the finished run.
+
+        Pure post-processing over the sender's frame stamps and the
+        ACE-N decision log (recorded with or without telemetry).
+        Returns a :class:`~repro.obs.attrib.SessionAttribution`.
+        """
+        from repro.obs import attribute_session
+        return attribute_session(self)
 
     def _collect(self) -> SessionMetrics:
         metrics = SessionMetrics(duration=self.config.duration)

@@ -16,7 +16,11 @@ from __future__ import annotations
 
 import math
 from heapq import heappop, heappush
-from typing import Callable, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.profiler import LoopProfiler
 
 
 class SimulationError(RuntimeError):
@@ -70,9 +74,24 @@ class EventLoop:
         #: executed callback (see :class:`repro.sim.tracing.Tracer`).
         #: ``None`` keeps the hot loop hook-free.
         self.on_event: Optional[Callable[[Event], None]] = None
+        #: self-profiler (:class:`repro.obs.profiler.LoopProfiler`).
+        #: ``None`` (the default) keeps dispatch on the unprofiled fast
+        #: path — the check happens once per run()/drain(), not per event.
+        self.profiler: Optional["LoopProfiler"] = None
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._processed = 0
+
+    def set_profiler(self,
+                     profiler: Optional["LoopProfiler"]) -> Optional["LoopProfiler"]:
+        """Attach (or, with ``None``, detach) a self-profiler.
+
+        Detaching restores the exact unprofiled dispatch path —
+        ``scripts/check_perf.py`` gates that the off state costs nothing.
+        Returns the attached profiler for chaining.
+        """
+        self.profiler = profiler
+        return profiler
 
     @property
     def pending(self) -> int:
@@ -120,13 +139,19 @@ class EventLoop:
     def step(self) -> bool:
         """Execute the next non-cancelled event. Returns False if none remain."""
         heap = self._heap
+        profiler = self.profiler
         while heap:
             when, _seq, event = heappop(heap)
             if event.cancelled:
                 continue
             self.now = when
             self._processed += 1
-            event.callback()
+            if profiler is None:
+                event.callback()
+            else:
+                t0 = perf_counter()
+                event.callback()
+                profiler.record(event.name, perf_counter() - t0)
             if self.on_event is not None:
                 self.on_event(event)
             return True
@@ -143,29 +168,54 @@ class EventLoop:
         """
         heap = self._heap
         hook = self.on_event
+        profiler = self.profiler
         limit = math.inf if until is None else until
         budget = math.inf if max_events is None else max_events
         executed = 0
         stopped_on_budget = False
         try:
-            while heap:
-                if executed >= budget:
-                    stopped_on_budget = True
-                    break
-                entry = heappop(heap)
-                when = entry[0]
-                if when > limit:
-                    # Past the horizon: put it back for the next run().
-                    heappush(heap, entry)
-                    break
-                event = entry[2]
-                if event.cancelled:
-                    continue
-                self.now = when
-                executed += 1
-                event.callback()
-                if hook is not None:
-                    hook(event)
+            if profiler is None:
+                while heap:
+                    if executed >= budget:
+                        stopped_on_budget = True
+                        break
+                    entry = heappop(heap)
+                    when = entry[0]
+                    if when > limit:
+                        # Past the horizon: put it back for the next run().
+                        heappush(heap, entry)
+                        break
+                    event = entry[2]
+                    if event.cancelled:
+                        continue
+                    self.now = when
+                    executed += 1
+                    event.callback()
+                    if hook is not None:
+                        hook(event)
+            else:
+                # Profiled twin of the loop above: identical dispatch
+                # semantics, each callback bracketed by perf_counter().
+                record = profiler.record
+                while heap:
+                    if executed >= budget:
+                        stopped_on_budget = True
+                        break
+                    entry = heappop(heap)
+                    when = entry[0]
+                    if when > limit:
+                        heappush(heap, entry)
+                        break
+                    event = entry[2]
+                    if event.cancelled:
+                        continue
+                    self.now = when
+                    executed += 1
+                    t0 = perf_counter()
+                    event.callback()
+                    record(event.name, perf_counter() - t0)
+                    if hook is not None:
+                        hook(event)
         finally:
             self._processed += executed
         if stopped_on_budget:
@@ -177,19 +227,37 @@ class EventLoop:
         """Run until the queue is empty, with a runaway guard."""
         heap = self._heap
         hook = self.on_event
+        profiler = self.profiler
         executed = 0
         try:
-            while heap:
-                when, _seq, event = heappop(heap)
-                if event.cancelled:
-                    continue
-                self.now = when
-                executed += 1
-                event.callback()
-                if hook is not None:
-                    hook(event)
-                if executed > max_events:
-                    raise SimulationError(
-                        f"event budget of {max_events} exhausted")
+            if profiler is None:
+                while heap:
+                    when, _seq, event = heappop(heap)
+                    if event.cancelled:
+                        continue
+                    self.now = when
+                    executed += 1
+                    event.callback()
+                    if hook is not None:
+                        hook(event)
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"event budget of {max_events} exhausted")
+            else:
+                record = profiler.record
+                while heap:
+                    when, _seq, event = heappop(heap)
+                    if event.cancelled:
+                        continue
+                    self.now = when
+                    executed += 1
+                    t0 = perf_counter()
+                    event.callback()
+                    record(event.name, perf_counter() - t0)
+                    if hook is not None:
+                        hook(event)
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"event budget of {max_events} exhausted")
         finally:
             self._processed += executed

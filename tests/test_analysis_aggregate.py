@@ -82,6 +82,54 @@ class TestPairedCompare:
         assert not cmp.consistent
 
 
+class TestPairedCompareEdgeCases:
+    def test_empty_results(self):
+        cmp = paired_compare([], "ace", "star")
+        assert cmp.n == 0
+        assert cmp.wins == 0
+        assert math.isnan(cmp.mean_diff)
+        assert not cmp.consistent
+
+    def test_one_sided_baseline_all_unpaired(self):
+        # baseline_b exists nowhere: every workload is one-sided
+        results = [result("ace", s, 0.1) for s in (1, 2, 3)]
+        cmp = paired_compare(results, "ace", "star")
+        assert cmp.n == 0
+        assert math.isnan(cmp.mean_diff)
+
+    def test_partially_one_sided_uses_only_pairs(self):
+        results = [result("ace", 1, 0.10), result("star", 1, 0.30),
+                   result("ace", 2, 0.10)]  # seed 2 has no star run
+        cmp = paired_compare(results, "ace", "star")
+        assert cmp.n == 1
+        assert cmp.mean_diff == pytest.approx(-0.20)
+        assert cmp.consistent
+
+    def test_nan_metric_pairs_skipped(self):
+        results = [result("ace", 1, float("nan")), result("star", 1, 0.2),
+                   result("ace", 2, 0.1), result("star", 2, float("nan")),
+                   result("ace", 3, 0.1), result("star", 3, 0.3)]
+        cmp = paired_compare(results, "ace", "star")
+        assert cmp.n == 1  # only seed 3 has two finite values
+        assert cmp.diffs == [pytest.approx(-0.2)]
+
+    def test_all_nan_metric(self):
+        results = [result("ace", 1, float("nan")),
+                   result("star", 1, float("nan"))]
+        cmp = paired_compare(results, "ace", "star")
+        assert cmp.n == 0
+        assert math.isnan(cmp.mean_diff)
+
+    def test_nan_on_secondary_metric_only(self):
+        # NaN in vmaf must not disturb a latency comparison
+        results = [result("ace", 1, 0.1, vmaf=float("nan")),
+                   result("star", 1, 0.2)]
+        cmp = paired_compare(results, "ace", "star", metric="p95_latency")
+        assert cmp.n == 1
+        nan_cmp = paired_compare(results, "ace", "star", metric="mean_vmaf")
+        assert nan_cmp.n == 0
+
+
 def test_end_to_end_with_real_runs():
     """Aggregate actual session runs across two seeds."""
     from repro.net.trace import BandwidthTrace

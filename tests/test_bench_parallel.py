@@ -75,6 +75,78 @@ class TestParallelIdentity:
             run_grid(["cbr"], [traces[0], twin], duration=DURATION)
 
 
+class TestEnvIsolation:
+    """Grid cells must not inherit instrumentation from the parent env.
+
+    ``REPRO_TELEMETRY``/``REPRO_AUDIT`` turn a debugging session's
+    instrumentation on in ``RtcSession.run()``; a sweep launched from
+    that same shell must not silently run hundreds of instrumented
+    cells. Instrumentation is per-:class:`GridTask` instead.
+    """
+
+    def test_worker_strips_telemetry_env(self, traces, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        enabled = []
+        from repro.rtc.session import RtcSession
+        monkeypatch.setattr(
+            RtcSession, "enable_telemetry",
+            lambda self, telemetry=None: enabled.append(self) or None)
+        # jobs=1 runs in this very process — the strongest leak vector.
+        run_grid(["cbr"], traces[:1], seeds=(3,), duration=DURATION, jobs=1)
+        assert enabled == []
+        # the parent's env survives the run for its own sessions
+        import os
+        assert os.environ["REPRO_TELEMETRY"] == "1"
+        assert os.environ["REPRO_AUDIT"] == "1"
+
+    def test_env_stripped_grid_matches_clean_grid(self, traces, monkeypatch):
+        clean = run_grid(["ace"], traces[:1], seeds=(3,), duration=DURATION)
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        dirty_env = run_grid(["ace"], traces[:1], seeds=(3,),
+                             duration=DURATION)
+        for key in clean:
+            assert (canonical_metrics_json(clean[key])
+                    == canonical_metrics_json(dirty_env[key]))
+
+    def test_task_opts_into_telemetry_explicitly(self, traces, monkeypatch):
+        enabled = []
+        from repro.rtc.session import RtcSession
+        orig = RtcSession.enable_telemetry
+        monkeypatch.setattr(
+            RtcSession, "enable_telemetry",
+            lambda self, telemetry=None: (enabled.append(self),
+                                          orig(self, telemetry))[1])
+        tasks = [GridTask(baseline="cbr", trace=traces[0], seed=3,
+                          duration=DURATION, telemetry=True)]
+        ParallelRunner(jobs=1).run(tasks)
+        assert len(enabled) == 1
+
+    def test_instrumented_tasks_bypass_cache(self, traces, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, enabled=True)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        task = GridTask(baseline="cbr", trace=traces[0], seed=3,
+                        duration=DURATION, telemetry=True)
+        runner.run([task])
+        runner.run([task])
+        # neither run consulted nor populated the cache
+        assert cache.hits == cache.misses == cache.stores == 0
+        plain = GridTask(baseline="cbr", trace=traces[0], seed=3,
+                        duration=DURATION)
+        runner.run([plain])
+        assert cache.misses == 1 and cache.stores == 1
+
+    def test_instrumented_cell_results_identical_to_plain(self, traces):
+        plain = GridTask(baseline="ace", trace=traces[0], seed=3,
+                         duration=DURATION)
+        instrumented = GridTask(baseline="ace", trace=traces[0], seed=3,
+                                duration=DURATION, telemetry=True, audit=True)
+        [a] = ParallelRunner(jobs=1).run([plain])
+        [b] = ParallelRunner(jobs=1).run([instrumented])
+        assert canonical_metrics_json(a) == canonical_metrics_json(b)
+
+
 class TestResultCache:
     def test_cache_hit_returns_equal_metrics_without_rerun(self, traces,
                                                            tmp_path):

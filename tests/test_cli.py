@@ -142,7 +142,7 @@ class TestRunTelemetryOut:
         assert "telemetry:" in out
         assert (out_dir / "events.jsonl").exists()
         assert (out_dir / "metrics.prom").exists()
-        assert (out_dir / "metrics.prom").read_text().startswith("# TYPE")
+        assert (out_dir / "metrics.prom").read_text().startswith("# ")
 
     def test_run_check_with_telemetry(self, tmp_path, capsys):
         out_dir = tmp_path / "tele"
@@ -153,3 +153,101 @@ class TestRunTelemetryOut:
         out = capsys.readouterr().out
         assert "audit clean" in out
         assert (out_dir / "events.jsonl").exists()
+
+
+class TestAttribAndProfile:
+    def test_trace_attrib_rollup(self, capsys):
+        rc = main(["trace", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "2", "--seed", "5", "--attrib"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pacer-residence attribution over" in out
+        assert "category" in out
+
+    def test_trace_profile_table(self, capsys):
+        rc = main(["trace", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "2", "--seed", "5", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "event-loop profile:" in out
+        assert "pacer.pump" in out
+
+    def test_why_worst_frames(self, capsys):
+        rc = main(["why", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "2", "--seed", "5", "--frames", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "frames attributed" in out
+        assert out.count("pacer residence") == 2
+        assert "dominant" in out
+        assert "pacer-residence attribution over" in out
+
+    def test_why_specific_frame(self, capsys):
+        rc = main(["why", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "2", "--seed", "5", "--frame", "4"])
+        assert rc == 0
+        assert "frame 4 pacer residence" in capsys.readouterr().out
+
+    def test_why_missing_frame_fails(self, capsys):
+        rc = main(["why", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "1", "--seed", "5", "--frame", "99999"])
+        assert rc == 1
+        assert "no pacer stamps" in capsys.readouterr().out
+
+
+class TestGridAndReport:
+    @pytest.fixture()
+    def run_dir(self, tmp_path):
+        path = tmp_path / "r1"
+        rc = main(["grid", "--baselines", "cbr,always-burst",
+                   "--traces", "const:15", "--seeds", "2,3",
+                   "--duration", "2", "--run-dir", str(path)])
+        assert rc == 0
+        return path
+
+    def test_grid_writes_run_dir_and_reports(self, tmp_path, capsys):
+        path = tmp_path / "r1"
+        rc = main(["grid", "--baselines", "cbr,always-burst",
+                   "--traces", "const:15", "--seeds", "2,3",
+                   "--duration", "2", "--run-dir", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "cache[none]" in out  # counters surface in summary output
+        for name in ("manifest.json", "cells.jsonl", "results.json",
+                     "summary.json"):
+            assert (path / name).is_file(), name
+
+    def test_grid_without_run_dir_prints_table(self, capsys):
+        rc = main(["grid", "--baselines", "cbr", "--traces", "const:15",
+                   "--seeds", "2", "--duration", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "grid: 1 cells" in out and "cbr" in out
+
+    def test_report_command(self, run_dir, capsys):
+        rc = main(["report", str(run_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cbr" in out and "always-burst" in out
+        assert "p95_latency" in out
+
+    def test_report_self_diff_is_clean(self, run_dir, capsys):
+        rc = main(["report", str(run_dir), "--diff", str(run_dir)])
+        assert rc == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_report_diff_exits_1_on_regression(self, run_dir, tmp_path,
+                                               capsys):
+        import json
+        doctored = tmp_path / "doctored"
+        doctored.mkdir()
+        for name in ("manifest.json", "summary.json"):
+            (doctored / name).write_text((run_dir / name).read_text())
+        results = json.loads((run_dir / "results.json").read_text())
+        for r in results:
+            r["p95_latency"] *= 3.0
+        (doctored / "results.json").write_text(json.dumps(results))
+        rc = main(["report", str(doctored), "--diff", str(run_dir)])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out

@@ -323,7 +323,69 @@ class TestExporters:
         _, tel, _ = run_telemetry_session(duration=1.0)
         jsonl, snapshot = write_export_dir(tel, tmp_path / "out")
         assert jsonl.exists() and snapshot.exists()
-        assert snapshot.read_text().startswith("# TYPE")
+        assert snapshot.read_text().startswith("# ")  # HELP or TYPE header
+
+    def test_help_lines_precede_types(self):
+        _, tel, _ = run_telemetry_session(duration=1.0)
+        text = prometheus_snapshot(tel.registry)
+        assert ("# HELP repro_frames_encoded_total "
+                "Frames produced by the encoder") in text
+        assert "# HELP repro_cc_bwe_bps " in text
+        assert "# HELP repro_frame_e2e_s " in text
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# HELP "):
+                metric = line.split()[2]
+                assert lines[i + 1].startswith(f"# TYPE {metric} "), line
+
+    def test_label_escaping(self):
+        registry = MetricRegistry()
+        registry.counter("weird.counter", help="has \\ and\nnewline",
+                         labels={"path": 'C:\\x "y"\nz', "ok": "plain"})
+        registry.gauge("plain.gauge", labels={"trace": "wifi"}).set(2.0)
+        text = prometheus_snapshot(registry)
+        assert ('repro_weird_counter_total{ok="plain",'
+                'path="C:\\\\x \\"y\\"\\nz"} 0.0') in text
+        assert "# HELP repro_weird_counter_total has \\\\ and\\nnewline" \
+            in text
+        assert 'repro_plain_gauge{trace="wifi"} 2.0' in text
+
+    def test_histogram_labels_merge_with_le(self):
+        registry = MetricRegistry()
+        registry.histogram("h.lat", buckets=(0.1,), labels={"kind": "e2e"}) \
+            .observe(0.05)
+        text = prometheus_snapshot(registry)
+        assert 'repro_h_lat_bucket{kind="e2e",le="0.1"} 1' in text
+        assert 'repro_h_lat_bucket{kind="e2e",le="+Inf"} 1' in text
+        assert 'repro_h_lat_sum{kind="e2e"} 0.05' in text
+        assert 'repro_h_lat_count{kind="e2e"} 1' in text
+
+    def test_snapshot_ordering_stable_across_runs(self):
+        def build():
+            registry = MetricRegistry()
+            # registration order deliberately differs from sorted order
+            registry.counter("z.last")
+            registry.gauge("m.mid").set(1.0)
+            registry.counter("a.first")
+            registry.histogram("q.hist", buckets=(0.1,)).observe(0.01)
+            registry.gauge("b.gauge").set(3.0)
+            return prometheus_snapshot(registry)
+
+        a, b = build(), build()
+        assert a == b
+        samples = [line.split("{")[0].split(" ")[0]
+                   for line in a.splitlines() if not line.startswith("#")]
+        # groups: counters first, then gauges, then histograms — each sorted
+        assert samples == ["repro_a_first_total", "repro_z_last_total",
+                           "repro_b_gauge", "repro_m_mid",
+                           "repro_q_hist_bucket", "repro_q_hist_bucket",
+                           "repro_q_hist_sum", "repro_q_hist_count"]
+
+    def test_session_snapshot_identical_for_fixed_seed(self):
+        _, tel_a, _ = run_telemetry_session(duration=1.0)
+        _, tel_b, _ = run_telemetry_session(duration=1.0)
+        assert (prometheus_snapshot(tel_a.registry)
+                == prometheus_snapshot(tel_b.registry))
 
     def test_filter_records(self):
         _, tel, _ = run_telemetry_session(duration=1.0)
