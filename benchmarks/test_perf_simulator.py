@@ -91,6 +91,72 @@ def test_perf_full_session_throughput(benchmark):
     assert frames >= 145
 
 
+def test_perf_batch_session_throughput(benchmark):
+    """Batch-engine twin of the session-throughput bench (same workload).
+
+    ``scripts/check_perf.py`` compares this bench against
+    ``test_perf_full_session_throughput`` *from the same run* and fails
+    when the batch engine's speedup drops below the floor — a
+    machine-independent ratio gate. At 20 Mbps the ratio is bounded by
+    the shared decision-plane code (congestion control, ACE-N, rate
+    control run identically on both engines); the macro-step pair below
+    measures the engine's per-packet advantage where packets dominate.
+    """
+    trace = BandwidthTrace.constant(20e6, duration=20.0)
+
+    def run_session():
+        cfg = SessionConfig(duration=5.0, seed=3, initial_bwe_bps=8e6)
+        return len(build_session("ace", trace, cfg, engine="batch")
+                   .run().frames)
+
+    frames = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert frames >= 145
+
+
+#: packet-heavy workload for the macro-step pair: ~110 packets/frame at
+#: 100 Mbps, so per-packet machinery dominates the decision plane.
+_MACRO_TRACE_BPS = 100e6
+
+
+def _macro_step_config():
+    return SessionConfig(duration=3.0, seed=3, initial_bwe_bps=50e6,
+                         max_bwe_bps=100e6)
+
+
+def test_perf_reference_macro_step(benchmark):
+    """Reference engine on the packet-heavy macro-step workload.
+
+    Same-run denominator for the ``test_perf_batch_macro_step`` speedup
+    gate in ``scripts/check_perf.py``.
+    """
+    trace = BandwidthTrace.constant(_MACRO_TRACE_BPS, duration=20.0)
+
+    def run_session():
+        return len(build_session("ace", trace, _macro_step_config())
+                   .run().frames)
+
+    frames = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert frames >= 85
+
+
+def test_perf_batch_macro_step(benchmark):
+    """Batch engine on the packet-heavy macro-step workload.
+
+    Each macro step advances the pacer→link→queue pipeline over whole
+    bursts between decision boundaries; at ~110 packets/frame that
+    replaces ~6 heap events per packet with a handful of array ops per
+    burst. Gated at a multiple of the reference twin from the same run.
+    """
+    trace = BandwidthTrace.constant(_MACRO_TRACE_BPS, duration=20.0)
+
+    def run_session():
+        return len(build_session("ace", trace, _macro_step_config(),
+                                 engine="batch").run().frames)
+
+    frames = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert frames >= 85
+
+
 def test_perf_full_session_telemetry_on(benchmark):
     """Telemetry-enabled twin of the session-throughput bench.
 

@@ -42,6 +42,21 @@ PROFILER_OFF_BENCH = "test_perf_full_session_profiler_off"
 PROFILER_BASE_BENCH = "test_perf_full_session_throughput"
 DEFAULT_PROFILER_OVERHEAD = 1.05
 
+#: batch-engine speedup gates: the batch bench must beat its reference
+#: twin *from the same run* by at least the floor factor. Two pairs:
+#: the 20 Mbps session pair (ratio bounded by the shared decision-plane
+#: code — GCC, ACE-N, rate control run identically on both engines, an
+#: Amdahl floor measured at ~45% of reference wall time) and the
+#: packet-heavy macro-step pair (~110 packets/frame, where the
+#: vectorized pipeline's per-packet advantage dominates; measured
+#: ~7x, gated at 4x for machine noise).
+BATCH_SESSION_BENCH = "test_perf_batch_session_throughput"
+BATCH_SESSION_BASE = "test_perf_full_session_throughput"
+DEFAULT_BATCH_SESSION_SPEEDUP = 1.3
+BATCH_MACRO_BENCH = "test_perf_batch_macro_step"
+BATCH_MACRO_BASE = "test_perf_reference_macro_step"
+DEFAULT_BATCH_MACRO_SPEEDUP = 4.0
+
 
 def load_mins(bench_json: Path) -> dict[str, float]:
     """Per-bench minimum seconds from a pytest-benchmark dump."""
@@ -70,6 +85,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail when the profiler-off session bench "
                              "exceeds the plain one by more than this "
                              f"factor (default {DEFAULT_PROFILER_OVERHEAD})")
+    parser.add_argument("--batch-session-speedup", type=float,
+                        default=DEFAULT_BATCH_SESSION_SPEEDUP,
+                        dest="batch_session_speedup",
+                        help="fail when the batch-engine session bench is "
+                             "not at least this much faster than the "
+                             "reference one from the same run (default "
+                             f"{DEFAULT_BATCH_SESSION_SPEEDUP})")
+    parser.add_argument("--batch-macro-speedup", type=float,
+                        default=DEFAULT_BATCH_MACRO_SPEEDUP,
+                        dest="batch_macro_speedup",
+                        help="fail when the batch-engine macro-step bench "
+                             "is not at least this much faster than its "
+                             "reference twin from the same run (default "
+                             f"{DEFAULT_BATCH_MACRO_SPEEDUP})")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the snapshot from bench_json and exit")
     args = parser.parse_args(argv)
@@ -127,6 +156,21 @@ def main(argv: list[str] | None = None) -> int:
               f"({ratio:.2f}x, limit {args.profiler_overhead}x)")
         if ratio > args.profiler_overhead:
             failures.append("profiler-off-overhead")
+
+    for batch, base, floor, tag in (
+            (BATCH_SESSION_BENCH, BATCH_SESSION_BASE,
+             args.batch_session_speedup, "batch-session-speedup"),
+            (BATCH_MACRO_BENCH, BATCH_MACRO_BASE,
+             args.batch_macro_speedup, "batch-macro-speedup")):
+        if batch in current and base in current:
+            speedup = current[base] / current[batch]
+            status = "FAIL" if speedup < floor else "ok"
+            print(f"  {status:>4} {tag}: reference "
+                  f"{current[base] * 1e3:.2f} ms vs batch "
+                  f"{current[batch] * 1e3:.2f} ms "
+                  f"({speedup:.2f}x, floor {floor}x)")
+            if speedup < floor:
+                failures.append(tag)
 
     if failures:
         print(f"check_perf: {len(failures)} regression(s) beyond "

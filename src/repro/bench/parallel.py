@@ -266,6 +266,7 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
              runner: Optional[ParallelRunner] = None,
              run_dir: Optional[str] = None,
              verbose: bool = False,
+             engine: str = "reference",
              ) -> dict[tuple, SessionMetrics]:
     """Run a (baseline x trace x seed x category) grid.
 
@@ -281,7 +282,16 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
     heartbeats) while running, and leaves ``results.json`` +
     ``summary.json`` behind for ``repro report``. ``verbose=True``
     echoes heartbeats and the cache-counter summary line to stdout.
+
+    ``engine=`` selects the simulation engine for every cell. Only a
+    non-default engine is added to ``build_kwargs`` (and hence the
+    result-cache key): reference cells keep their pre-engine cache
+    identity, while batch-engine results can never be served from (or
+    stored into) a reference cell's slot. The manifest records the
+    engine either way.
     """
+    if engine != "reference":
+        build_kwargs = {**(build_kwargs or {}), "engine": engine}
     tasks = make_grid(baselines, traces, seeds=seeds, categories=categories,
                       duration=duration, fps=fps,
                       initial_bwe_bps=initial_bwe_bps,
@@ -301,7 +311,8 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
             tasks, jobs=runner.jobs,
             cache_enabled=cache_obj is not None and cache_obj.enabled,
             cache_dir=(str(cache_obj.cache_dir)
-                       if cache_obj is not None else None)))
+                       if cache_obj is not None else None),
+            extra={"engine": engine}))
 
     metrics = runner.run(tasks, observer=observer)
     out: dict[tuple, SessionMetrics] = {}

@@ -27,6 +27,7 @@ from repro.net.trace import (
 )
 from repro.rtc.baselines import build_session, list_baselines
 from repro.rtc.session import SessionConfig
+from repro.sim import ENGINE_NAMES
 from repro.sim.rng import RngStream
 from repro.video.source import CONTENT_CATEGORIES
 
@@ -61,7 +62,8 @@ def run_one(baseline: str, args: argparse.Namespace):
         base_rtt=args.rtt / 1000.0, initial_bwe_bps=args.initial_bwe * 1e6,
     )
     session = build_session(baseline, trace, config, category=args.category,
-                            cc_override=args.cc, codec_override=args.codec)
+                            cc_override=args.cc, codec_override=args.codec,
+                            engine=getattr(args, "engine", "reference"))
     return session.run()
 
 
@@ -76,10 +78,16 @@ def make_task(baseline: str, args: argparse.Namespace,
         duration=args.duration, seed=args.seed, fps=args.fps,
         base_rtt=rtt, initial_bwe_bps=args.initial_bwe * 1e6,
     )
+    build_kwargs = {"cc_override": args.cc, "codec_override": args.codec}
+    engine = getattr(args, "engine", "reference")
+    if engine != "reference":
+        # Only a non-default engine enters the build kwargs (and thus
+        # the result-cache key): reference-engine cells keep their
+        # pre-engine cache identity, and cached cells can never be
+        # silently served across engines.
+        build_kwargs["engine"] = engine
     return GridTask(baseline=baseline, trace=trace, category=args.category,
-                    config=config,
-                    build_kwargs={"cc_override": args.cc,
-                                  "codec_override": args.codec})
+                    config=config, build_kwargs=build_kwargs)
 
 
 def make_runner(args: argparse.Namespace) -> ParallelRunner:
@@ -143,7 +151,8 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
     )
     session = build_session(args.baseline, trace, config,
                             category=args.category,
-                            cc_override=args.cc, codec_override=args.codec)
+                            cc_override=args.cc, codec_override=args.codec,
+                            engine=getattr(args, "engine", "reference"))
     telemetry = session.enable_telemetry() if args.telemetry_out else None
     auditor = None
     if args.check:
@@ -436,7 +445,8 @@ def cmd_grid(args: argparse.Namespace) -> int:
                        duration=args.duration, fps=args.fps,
                        initial_bwe_bps=args.initial_bwe * 1e6,
                        jobs=args.jobs, use_cache=args.cache,
-                       run_dir=args.run_dir, verbose=True)
+                       run_dir=args.run_dir, verbose=True,
+                       engine=getattr(args, "engine", "reference"))
     if args.run_dir is not None:
         print()
         print(report_run(args.run_dir))
@@ -479,6 +489,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    choices=sorted(CONTENT_CATEGORIES))
     p.add_argument("--initial-bwe", type=float, default=6.0,
                    dest="initial_bwe", help="initial BWE in Mbps")
+    p.add_argument("--engine", default="reference", choices=ENGINE_NAMES,
+                   help="simulation engine: 'reference' is the golden "
+                        "per-event loop, 'batch' macro-steps whole bursts "
+                        "(faster, metrics equivalent within float noise)")
     p.add_argument("--cc", default=None,
                    help="override congestion controller (gcc|bbr|copa|delivery)")
     p.add_argument("--codec", default=None,

@@ -12,8 +12,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
 
+import numpy as np
+
 from repro.net.packet_pair import PacketPairEstimator
-from repro.transport.feedback import FeedbackMessage
+from repro.transport.feedback import FeedbackMessage, ReportBatch
 
 
 @dataclass
@@ -44,6 +46,12 @@ class QueueEstimator:
         self.packet_pair = PacketPairEstimator()
         self._rtt_min: Optional[float] = None
         self._recent_rtts: Deque[tuple[float, float]] = deque()
+        # Monotonic companions of _recent_rtts: _standing holds strictly
+        # increasing rtts (front = window min), _peaks non-increasing
+        # rtts (front = window max). min/max are order-exact, so the
+        # O(1) queries return bit-identical values to a window scan.
+        self._standing: Deque[tuple[float, float]] = deque()
+        self._peaks: Deque[tuple[float, float]] = deque()
         self.estimates: list[QueueEstimate] = []
 
     # ------------------------------------------------------------------
@@ -54,10 +62,16 @@ class QueueEstimator:
         """Feed a transport feedback batch (reports in arrival order)."""
         # The receiver appends reports as packets arrive, so the batch is
         # already sorted by arrival time — no re-sort needed.
+        reports = message.reports
+        if type(reports) is ReportBatch:
+            self._on_feedback_arrays(reports, now, reverse_delay)
+            return
         rtt_min = self._rtt_min
         recent = self._recent_rtts
+        standing = self._standing
+        peaks = self._peaks
         pp_on_packet = self.packet_pair.on_packet
-        for report in message.reports:
+        for report in reports:
             arrival = report.arrival_time
             rtt = arrival - report.send_time + reverse_delay
             if rtt <= 0:
@@ -65,11 +79,74 @@ class QueueEstimator:
             if rtt_min is None or rtt < rtt_min:
                 rtt_min = rtt
             recent.append((arrival, rtt))
+            while standing and standing[-1][1] >= rtt:
+                standing.pop()
+            standing.append((arrival, rtt))
+            while peaks and peaks[-1][1] <= rtt:
+                peaks.pop()
+            peaks.append((arrival, rtt))
             pp_on_packet(report.send_time, arrival, report.size_bytes)
         self._rtt_min = rtt_min
-        horizon = now - self.standing_window_s
+        self._trim(now - self.standing_window_s)
+
+    def _trim(self, horizon: float) -> None:
         while self._recent_rtts and self._recent_rtts[0][0] < horizon:
             self._recent_rtts.popleft()
+        while self._standing and self._standing[0][0] < horizon:
+            self._standing.popleft()
+        while self._peaks and self._peaks[0][0] < horizon:
+            self._peaks.popleft()
+
+    def _on_feedback_arrays(self, reports: ReportBatch, now: float,
+                            reverse_delay: float) -> None:
+        """Column-oriented twin of the scalar ingestion loop."""
+        arrivals = reports.arrival_times
+        if len(arrivals):
+            rtts = arrivals - reports.send_times + reverse_delay
+            low = float(rtts.min())
+            sends = reports.send_times
+            sizes = reports.sizes
+            if low <= 0.0:
+                # Rare: non-positive samples only appear with degenerate
+                # timestamps; filter them exactly as the scalar loop does.
+                mask = rtts > 0
+                arrivals = arrivals[mask]
+                rtts = rtts[mask]
+                sends = sends[mask]
+                sizes = sizes[mask]
+                low = float(rtts.min()) if len(rtts) else 0.0
+            if len(rtts):
+                if self._rtt_min is None or low < self._rtt_min:
+                    self._rtt_min = low
+                arr_list = arrivals.tolist()
+                rtt_list = rtts.tolist()
+                self._recent_rtts.extend(zip(arr_list, rtt_list))
+                # Batch-rebuild the monotonic deques. Sequential pushes
+                # leave: old entries with value < batch-min (resp. >
+                # batch-max), then the strict suffix-minima (maxima) of
+                # the new samples — same contents, O(survivors) appends.
+                n = len(rtts)
+                rev = rtts[::-1]
+                sfx_min = np.minimum.accumulate(rev)[::-1]
+                sfx_max = np.maximum.accumulate(rev)[::-1]
+                high = float(sfx_max[0])
+                standing = self._standing
+                while standing and standing[-1][1] >= low:
+                    standing.pop()
+                keep = np.empty(n, dtype=bool)
+                keep[-1] = True
+                np.less(rtts[:-1], sfx_min[1:], out=keep[:-1])
+                for i in np.nonzero(keep)[0].tolist():
+                    standing.append((arr_list[i], rtt_list[i]))
+                peaks = self._peaks
+                while peaks and peaks[-1][1] <= high:
+                    peaks.pop()
+                keep[-1] = True
+                np.greater(rtts[:-1], sfx_max[1:], out=keep[:-1])
+                for i in np.nonzero(keep)[0].tolist():
+                    peaks.append((arr_list[i], rtt_list[i]))
+                self.packet_pair.on_packet_arrays(sends, arrivals, sizes)
+        self._trim(now - self.standing_window_s)
 
     # ------------------------------------------------------------------
     # estimates
@@ -80,9 +157,9 @@ class QueueEstimator:
 
     def rtt_standing(self) -> Optional[float]:
         """Minimum RTT over the recent window (filters out jitter spikes)."""
-        if not self._recent_rtts:
+        if not self._standing:
             return None
-        return min(rtt for _, rtt in self._recent_rtts)
+        return self._standing[0][1]
 
     def capacity_bps(self) -> float:
         """PacketPair capacity, falling back to a configured default."""
@@ -117,9 +194,9 @@ class QueueEstimator:
         queue level that preceded a loss — at overflow time the queue was
         near the buffer limit, which only the max-RTT view captures.
         """
-        if not self._recent_rtts or self._rtt_min is None:
+        if not self._peaks or self._rtt_min is None:
             return 0.0
-        peak_rtt = max(rtt for _, rtt in self._recent_rtts)
+        peak_rtt = self._peaks[0][1]
         delay = max(0.0, peak_rtt - self._rtt_min)
         return delay * self.capacity_bps() / 8.0
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+import numpy as np
+
 #: Pairs must be sent within this gap to count as back-to-back.
 BACK_TO_BACK_GAP_S = 0.0005
 
@@ -55,6 +57,35 @@ class PacketPairEstimator:
         if send_gap > self.back_to_back_gap:
             return  # not a back-to-back pair
         self._samples.append(size_bytes * 8 / arrival_gap)
+
+    def on_packet_arrays(self, send_times, arrival_times,
+                         sizes) -> None:
+        """Vectorized :meth:`on_packet` over arrival-ordered columns.
+
+        Applies the same pair-selection predicate element-wise, with the
+        previous observation carried across calls, and appends the same
+        capacity samples in the same order.
+        """
+        n = len(send_times)
+        if n == 0:
+            return
+        last_send = self._last_send
+        last_arrival = self._last_arrival
+        self._last_send = float(send_times[-1])
+        self._last_arrival = float(arrival_times[-1])
+        send_gaps = np.empty(n)
+        send_gaps[0] = (send_times[0] - last_send
+                        if last_send is not None else -1.0)
+        np.subtract(send_times[1:], send_times[:-1], out=send_gaps[1:])
+        arrival_gaps = np.empty(n)
+        arrival_gaps[0] = arrival_times[0] - last_arrival
+        np.subtract(arrival_times[1:], arrival_times[:-1],
+                    out=arrival_gaps[1:])
+        mask = ((send_gaps >= 0) & (send_gaps <= self.back_to_back_gap)
+                & (arrival_gaps > 0))
+        if mask.any():
+            self._samples.extend(
+                ((sizes[mask] * 8) / arrival_gaps[mask]).tolist())
 
     @property
     def sample_count(self) -> int:

@@ -78,6 +78,11 @@ class NetworkPath:
             on_drop=self._dropped_by_link,
         )
         self.lost_packets: list[Packet] = []
+        #: When set, every packet handed to :meth:`send` is routed to
+        #: this callable instead of the event-loop propagation chain.
+        #: The batch engine installs its pipeline here; ``None`` (the
+        #: default) keeps the reference discrete-event behaviour.
+        self.intercept: Optional[Callable[[Packet], None]] = None
         self._last_send_time: Optional[float] = None
         self._train_length = 0
         # Hot-path precomputation: PathConfig is immutable for the life
@@ -96,6 +101,9 @@ class NetworkPath:
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Inject a packet at the sender's NIC."""
+        if self.intercept is not None:
+            self.intercept(packet)
+            return
         if self._lossy and (self._random_loss() or self._contention_loss()):
             packet.dropped = True
             self.lost_packets.append(packet)

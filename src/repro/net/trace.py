@@ -104,6 +104,33 @@ class BandwidthTrace:
         self._cursor = i
         return self._rates_list[i]
 
+    def next_change_after(self, t: float) -> float:
+        """Absolute simulation time of the next rate change after ``t``.
+
+        The batch engine serializes whole packet trains at one sampled
+        rate; this bound tells it how far that sample stays valid. Flat
+        traces never change (``inf``). Looping is honoured: past the end
+        of the trace the boundaries repeat with the trace period.
+        """
+        flat = self._flat_rate
+        if flat is not None:
+            return math.inf
+        if t < 0:
+            t = 0.0
+        span = self._duration
+        ts = self._ts_list
+        if span <= 0 or len(ts) == 1:
+            return math.inf
+        base = t - math.fmod(t, span)
+        local = ts[0] + (t - base)
+        # First sample boundary strictly after ``local`` (bisect keeps
+        # this O(log n); the call sits outside the per-packet hot path).
+        i = bisect.bisect_right(ts, local)
+        if i < len(ts):
+            return base + (ts[i] - ts[0])
+        # Wraps: the next boundary is the start of the next loop.
+        return base + span
+
     def mean_rate(self) -> float:
         return float(np.mean(self._rates))
 

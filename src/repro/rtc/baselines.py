@@ -199,7 +199,8 @@ def build_session(baseline: str | BaselineSpec, trace: BandwidthTrace,
                   ace_n_config: Optional[AceNConfig] = None,
                   ace_c_config: Optional[AceCConfig] = None,
                   cc_override: Optional[str] = None,
-                  codec_override: Optional[str] = None) -> RtcSession:
+                  codec_override: Optional[str] = None,
+                  engine: str = "reference") -> RtcSession:
     """Build a runnable session for a named baseline over ``trace``.
 
     ``category`` picks the synthetic content profile; pass
@@ -244,4 +245,5 @@ def build_session(baseline: str | BaselineSpec, trace: BandwidthTrace,
         sender_config=sender_config,
         ace_n_config=ace_n_config,
         ace_c_config=ace_c_config,
+        engine=engine,
     )

@@ -25,7 +25,7 @@ from repro.transport.cc.base import CongestionController
 if TYPE_CHECKING:
     from repro.live.clock import Clock
     from repro.live.transport import Transport
-from repro.transport.feedback import FeedbackMessage
+from repro.transport.feedback import FeedbackMessage, ReportBatch
 from repro.transport.audio import AudioSource
 from repro.transport.fec import FecConfig, FecEncoder
 from repro.transport.pacer.base import Pacer
@@ -115,7 +115,13 @@ class Sender:
         self.encoded_frames: list[EncodedFrame] = []
         #: seq -> sent packet (until its frame completes) for RTX.
         self._sent_packets: dict[int, Packet] = {}
+        #: frame_id -> media seqs of that frame (forget_frame index).
+        self._frame_seqs: dict[int, list[int]] = {}
         self._rtx_last_sent: dict[int, float] = {}
+        #: batch-engine frame sink: when set, encoded frames are handed
+        #: to it as column-oriented bursts instead of being packetized
+        #: into per-packet objects (see repro.sim.batch).
+        self.batch_sink = None
         self.retransmissions = 0
         self.keyframes_sent = 0
         self.frames_dropped = 0
@@ -289,9 +295,13 @@ class Sender:
     def _frame_encoded(self, encoded: EncodedFrame) -> None:
         if self._stopped:
             return
+        if self.batch_sink is not None:
+            self.batch_sink.on_frame_encoded(self, encoded)
+            return
         packets = self.packetizer.packetize(
             encoded, prev_sent_frame_id=self._last_sent_frame_id)
         self._last_sent_frame_id = encoded.frame_id
+        self._frame_seqs[encoded.frame_id] = [p.seq for p in packets]
         for packet in packets:
             self._sent_packets[packet.seq] = packet
         if self.fec is not None:
@@ -337,9 +347,15 @@ class Sender:
         reverse = self.transport.reverse_delay_estimate
         if hasattr(self.cc, "observe_reverse_delay"):
             self.cc.observe_reverse_delay(reverse)
-        observe_rtt = self.cc.observe_rtt
-        for report in message.reports:
-            observe_rtt(report.arrival_time - report.send_time + reverse)
+        reports = message.reports
+        if type(reports) is ReportBatch:
+            if len(reports):
+                self.cc.observe_rtt_array(
+                    reports.arrival_times - reports.send_times + reverse)
+        else:
+            observe_rtt = self.cc.observe_rtt
+            for report in reports:
+                observe_rtt(report.arrival_time - report.send_time + reverse)
         self.cc.on_feedback(message, now)
         if self.fec is not None:
             self._reports_seen += len(message.reports)
@@ -362,8 +378,15 @@ class Sender:
 
     def _handle_nacks(self, seqs: list[int]) -> None:
         now = self.loop.now
+        sink = self.batch_sink
         for seq in seqs:
             original = self._sent_packets.get(seq)
+            if original is None and sink is not None:
+                # Burst mode skips per-packet objects; rebuild the lost
+                # packet from its frame's burst record on demand.
+                original = sink.materialize(seq)
+                if original is not None:
+                    self._sent_packets[seq] = original
             if original is None:
                 continue
             last = self._rtx_last_sent.get(seq)
@@ -377,8 +400,12 @@ class Sender:
 
     def forget_frame(self, frame_id: int) -> None:
         """Drop RTX state for a frame that has been displayed."""
-        stale = [seq for seq, p in self._sent_packets.items()
-                 if p.frame_id == frame_id]
-        for seq in stale:
+        if self.batch_sink is not None:
+            self.batch_sink.forget_frame(self, frame_id)
+            return
+        seqs = self._frame_seqs.pop(frame_id, None)
+        if seqs is None:
+            return
+        for seq in seqs:
             self._sent_packets.pop(seq, None)
             self._rtx_last_sent.pop(seq, None)

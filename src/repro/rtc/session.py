@@ -141,9 +141,12 @@ class RtcSession:
                  sender_config: Optional[SenderConfig] = None,
                  ace_n_config: Optional[AceNConfig] = None,
                  ace_c_config: Optional[AceCConfig] = None,
-                 telemetry=None) -> None:
+                 telemetry=None, engine: str = "reference") -> None:
         self.trace = trace
         self.config = config
+        #: simulation engine name ("reference" or "batch"); resolved to
+        #: an engine instance at :meth:`run` time.
+        self.engine_name = engine
         self.loop = EventLoop()
         self.rngs = SeedSequenceFactory(config.seed)
 
@@ -281,16 +284,23 @@ class RtcSession:
         # the sender's metrics dict in lazily via a periodic sync.
         self.receiver.frame_capture_time = _CaptureTimeView(self.sender)
         self.receiver.frame_quality = _QualityView(self.sender)
+        # Resolve the engine after telemetry/audit hooks are attached so
+        # the batch engine's eligibility check sees the final wiring.
+        from repro.sim.engine import get_engine
+        engine = get_engine(self.engine_name)
+        self.engine = engine
+        engine.prepare(self)
         self.sender.start()
         self.receiver.start()
         if self.cross_traffic is not None:
             self.cross_traffic.start()
-        self.loop.run(until=self.config.duration)
+        engine.advance(self, self.config.duration)
         self.sender.stop()
         if self.cross_traffic is not None:
             self.cross_traffic.stop()
         # Let in-flight packets and feedback land (half a second of drain).
-        self.loop.run(until=self.config.duration + 0.5)
+        engine.advance(self, self.config.duration + 0.5)
+        engine.finalize(self)
         self._display_sync.sync()
         self._finished = True
         if auditor is not None:

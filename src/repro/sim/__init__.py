@@ -6,6 +6,7 @@ seeded random-number streams so that experiments are reproducible
 bit-for-bit across runs.
 """
 
+from repro.sim.engine import ENGINE_NAMES, ReferenceEngine, SimulationEngine, get_engine
 from repro.sim.events import Event, EventLoop, SimulationError
 from repro.sim.rng import RngStream, SeedSequenceFactory
 
@@ -15,4 +16,8 @@ __all__ = [
     "SimulationError",
     "RngStream",
     "SeedSequenceFactory",
+    "SimulationEngine",
+    "ReferenceEngine",
+    "ENGINE_NAMES",
+    "get_engine",
 ]

@@ -52,6 +52,18 @@ class CongestionController(abc.ABC):
         if self.rtt_min is None or rtt < self.rtt_min:
             self.rtt_min = rtt
 
+    def observe_rtt_array(self, rtts) -> None:
+        """Vectorized ``observe_rtt`` over a non-empty array of samples.
+
+        Equivalent to calling :meth:`observe_rtt` per element in order:
+        ``rtt_last`` ends at the final sample and ``rtt_min`` absorbs
+        the minimum.
+        """
+        self.rtt_last = float(rtts[-1])
+        low = float(rtts.min())
+        if self.rtt_min is None or low < self.rtt_min:
+            self.rtt_min = low
+
     @abc.abstractmethod
     def on_feedback(self, message: FeedbackMessage, now: float) -> None:
         """Consume one transport feedback message."""

@@ -27,8 +27,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
 
+import numpy as np
+
 from repro.transport.cc.base import CongestionController
-from repro.transport.feedback import FeedbackMessage, PacketReport
+from repro.transport.feedback import (FeedbackMessage, PacketReport,
+                                      ReportBatch)
 
 #: Packets sent within this gap belong to the same packet group (WebRTC
 #: uses a 5 ms burst window).
@@ -233,8 +236,11 @@ class GccController(CongestionController):
 
     def _delay_signal(self, message: FeedbackMessage, now: float) -> Optional[str]:
         """Group packets and run the trendline/overuse machinery."""
+        reports = message.reports
+        if type(reports) is ReportBatch:
+            return self._delay_signal_arrays(reports, now)
         state: Optional[str] = None
-        for report in sorted(message.reports, key=_by_send_time):
+        for report in sorted(reports, key=_by_send_time):
             group_complete = self._feed_group(report)
             if group_complete is None:
                 continue
@@ -262,6 +268,92 @@ class GccController(CongestionController):
                 scale = min(len(self.trendline._samples), 60)
             modified = slope * self.trendline_gain * scale
             state = self.detector.detect(modified, now)
+        return state
+
+    def _delay_signal_arrays(self, reports: ReportBatch,
+                             now: float) -> Optional[str]:
+        """Column-oriented twin of the scalar grouping loop.
+
+        Produces the same group boundaries, absorb results, and
+        trendline/detector call sequence as feeding the materialized
+        reports through ``_feed_group`` one at a time: groups are runs
+        found with ``searchsorted`` on the same ``send - first_send``
+        comparison the scalar path evaluates, and ``_current_group`` /
+        ``_prev_group`` carry across messages exactly as before.
+        """
+        n = len(reports)
+        if n == 0:
+            return None
+        s = reports.send_times
+        a = reports.arrival_times
+        sz = reports.sizes
+        # Batch-engine chunks arrive in send order, so the stable argsort
+        # is the identity almost always — skip the three fancy-index
+        # copies unless an inversion actually exists.
+        if n > 1 and bool((s[1:] < s[:-1]).any()):
+            order = np.argsort(s, kind="stable")
+            s = s[order]
+            a = a[order]
+            sz = sz[order]
+        cur = self._current_group
+        i = 0
+        if cur is not None and float(s[0]) - cur.first_send <= GROUP_WINDOW_S:
+            # Absorb the run that continues the carried group in one shot.
+            deltas = s - cur.first_send
+            i = int(np.searchsorted(deltas, GROUP_WINDOW_S, side="right"))
+            last_send = float(s[i - 1])
+            if last_send > cur.last_send:
+                cur.last_send = last_send
+            last_arrival = float(a[:i].max())
+            if last_arrival > cur.last_arrival:
+                cur.last_arrival = last_arrival
+            cur.size_bytes += int(sz[:i].sum())
+            if i == n:
+                return None
+        # Pass 1: group-start boundaries (the same send - first_send
+        # comparison the scalar path evaluates, one searchsorted per
+        # group). Pass 2: one reduceat per column replaces the
+        # per-group slice reductions.
+        starts: list[int] = []
+        while i < n:
+            starts.append(i)
+            deltas = s[i:] - s[i]
+            i += int(np.searchsorted(deltas, GROUP_WINDOW_S, side="right"))
+        sb = np.array(starts)
+        first_sends = s[sb].tolist()
+        first_arrivals = a[sb].tolist()
+        last_arrivals = np.maximum.reduceat(a, sb).tolist()
+        group_sizes = np.add.reduceat(sz, sb).tolist()
+        ends = np.array(starts[1:] + [n])
+        last_sends = s[ends - 1].tolist()
+        state: Optional[str] = None
+        trendline = self.trendline
+        time_windowed = trendline.time_windowed
+        detector = self.detector
+        gain = self.trendline_gain
+        for k in range(len(starts)):
+            completed = cur
+            cur = _PacketGroup(first_sends[k], last_sends[k],
+                               first_arrivals[k], last_arrivals[k],
+                               int(group_sizes[k]))
+            if completed is None:
+                continue
+            prev = self._prev_group
+            self._prev_group = completed
+            if prev is None:
+                continue
+            send_delta = completed.first_send - prev.first_send
+            arrival_delta = completed.first_arrival - prev.first_arrival
+            slope = trendline.update(
+                arrival_delta - send_delta, completed.first_arrival)
+            if slope is None:
+                continue
+            if time_windowed:
+                scale = min(60.0, trendline.window_s / GROUP_WINDOW_S)
+            else:
+                scale = min(len(trendline._samples), 60)
+            state = detector.detect(slope * gain * scale, now)
+        self._current_group = cur
         return state
 
     def _feed_group(self, report: PacketReport):

@@ -10,7 +10,9 @@ retransmission logic all consume these messages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.net.packet import Packet
 
@@ -46,12 +48,112 @@ class PacketReport:
                 f"size_bytes={self.size_bytes}, frame_id={self.frame_id})")
 
 
+class _ReportChunk:
+    """A contiguous run of received packets recorded column-wise.
+
+    The batch engine delivers whole packet trains at once; recording one
+    object per train (rather than one :class:`PacketReport` per packet)
+    keeps feedback accumulation off the per-packet path.
+    """
+
+    __slots__ = ("seq0", "send_times", "arrival_times", "sizes", "frame_id")
+
+    def __init__(self, seq0: int, send_times: np.ndarray,
+                 arrival_times: np.ndarray, sizes: np.ndarray,
+                 frame_id: int) -> None:
+        self.seq0 = seq0
+        self.send_times = send_times
+        self.arrival_times = arrival_times
+        self.sizes = sizes
+        self.frame_id = frame_id
+
+    def materialize(self) -> List[PacketReport]:
+        seq0 = self.seq0
+        frame_id = self.frame_id
+        return [
+            PacketReport(seq0 + i, send, arrival, size, frame_id)
+            for i, (send, arrival, size) in enumerate(
+                zip(self.send_times.tolist(), self.arrival_times.tolist(),
+                    self.sizes.tolist()))
+        ]
+
+
+class ReportBatch:
+    """Column-oriented stand-in for a list of :class:`PacketReport`.
+
+    Array-aware consumers (GCC's delay signal, the queue estimator, the
+    RTT observers) read the columns directly; everything else iterates
+    and transparently gets lazily-materialized :class:`PacketReport`
+    objects at reference-path cost.
+    """
+
+    __slots__ = ("send_times", "arrival_times", "sizes", "total_bytes",
+                 "_chunks", "_seqs", "_frame_ids", "_materialized")
+
+    def __init__(self, chunks: Sequence[_ReportChunk]) -> None:
+        if len(chunks) == 1:
+            # Alias the chunk's columns directly — chunk arrays are
+            # immutable once recorded, so no defensive copy is needed.
+            c = chunks[0]
+            self.send_times = c.send_times
+            self.arrival_times = c.arrival_times
+            self.sizes = c.sizes
+        else:
+            self.send_times = np.concatenate([c.send_times for c in chunks])
+            self.arrival_times = np.concatenate(
+                [c.arrival_times for c in chunks])
+            self.sizes = np.concatenate([c.sizes for c in chunks])
+        self.total_bytes = int(self.sizes.sum())
+        self._chunks = tuple(chunks)
+        self._seqs: Optional[np.ndarray] = None
+        self._frame_ids: Optional[np.ndarray] = None
+        self._materialized: Optional[List[PacketReport]] = None
+
+    @property
+    def seqs(self) -> np.ndarray:
+        # Built on demand: the fast-path consumers (GCC delay signal,
+        # queue estimator, packet-pair) never read per-packet seqs.
+        if self._seqs is None:
+            self._seqs = np.concatenate(
+                [np.arange(c.seq0, c.seq0 + len(c.sizes))
+                 for c in self._chunks])
+        return self._seqs
+
+    @property
+    def frame_ids(self) -> np.ndarray:
+        if self._frame_ids is None:
+            self._frame_ids = np.concatenate(
+                [np.full(len(c.sizes), c.frame_id) for c in self._chunks])
+        return self._frame_ids
+
+    def _reports(self) -> List[PacketReport]:
+        if self._materialized is None:
+            self._materialized = [
+                PacketReport(int(seq), send, arrival, int(size), int(fid))
+                for seq, send, arrival, size, fid in zip(
+                    self.seqs.tolist(), self.send_times.tolist(),
+                    self.arrival_times.tolist(), self.sizes.tolist(),
+                    self.frame_ids.tolist())
+            ]
+        return self._materialized
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def __iter__(self):
+        return iter(self._reports())
+
+    def __getitem__(self, index):
+        return self._reports()[index]
+
+
 @dataclass
 class FeedbackMessage:
     """A batch of receive reports plus loss information."""
 
     created_at: float
-    reports: List[PacketReport] = field(default_factory=list)
+    reports: Union[List[PacketReport], ReportBatch] = field(
+        default_factory=list)
     nacked_seqs: List[int] = field(default_factory=list)
     #: highest sequence number seen so far (for loss accounting)
     highest_seq: int = -1
@@ -63,7 +165,10 @@ class FeedbackMessage:
 
     @property
     def received_bytes(self) -> int:
-        return sum(r.size_bytes for r in self.reports)
+        reports = self.reports
+        if type(reports) is ReportBatch:
+            return reports.total_bytes
+        return sum(r.size_bytes for r in reports)
 
 
 class FeedbackBuilder:
@@ -78,7 +183,8 @@ class FeedbackBuilder:
                  max_nacks_per_seq: int = 10) -> None:
         self.reorder_margin = reorder_margin
         self.max_nacks_per_seq = max_nacks_per_seq
-        self._pending: List[PacketReport] = []
+        self._pending: List[Union[PacketReport, _ReportChunk]] = []
+        self._has_chunks = False
         self._highest_seq = -1
         self._received_seqs: set[int] = set()
         self._nack_counts: dict[int, int] = {}
@@ -109,6 +215,23 @@ class FeedbackBuilder:
         self._received_seqs.add(seq)
         if seq > self._highest_seq:
             self._highest_seq = seq
+
+    def on_chunk(self, seq0: int, send_times: np.ndarray,
+                 arrival_times: np.ndarray, sizes: np.ndarray,
+                 frame_id: int) -> None:
+        """Record a contiguous train of arriving media packets.
+
+        Batch-engine equivalent of ``on_packet`` for fresh (never
+        retransmitted, non-negative-seq) media packets only.
+        """
+        count = len(sizes)
+        self._pending.append(_ReportChunk(
+            seq0, send_times, arrival_times, sizes, frame_id))
+        self._has_chunks = True
+        self._received_seqs.update(range(seq0, seq0 + count))
+        last = seq0 + count - 1
+        if last > self._highest_seq:
+            self._highest_seq = last
 
     def _missing_seqs(self) -> List[int]:
         """Sequence numbers presumed lost (beyond the reordering margin)."""
@@ -151,12 +274,29 @@ class FeedbackBuilder:
             if before == 0:
                 self._cumulative_lost += 1
             self._nack_counts[seq] = before + 1
+        pending = self._pending
+        reports: Union[List[PacketReport], ReportBatch]
+        if not self._has_chunks:
+            reports = pending
+        elif all(type(entry) is _ReportChunk for entry in pending):
+            reports = ReportBatch(pending)
+        else:
+            # Mixed scalar reports (retransmissions delivered on the
+            # batch engine's scalar lane) and chunks: flatten in arrival
+            # order so consumers see the reference-shaped list.
+            reports = []
+            for entry in pending:
+                if type(entry) is _ReportChunk:
+                    reports.extend(entry.materialize())
+                else:
+                    reports.append(entry)
         message = FeedbackMessage(
             created_at=now,
-            reports=self._pending,
+            reports=reports,
             nacked_seqs=nacks,
             highest_seq=self._highest_seq,
             cumulative_lost=self._cumulative_lost,
         )
         self._pending = []
+        self._has_chunks = False
         return message

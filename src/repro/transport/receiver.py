@@ -82,6 +82,10 @@ class TransportReceiver:
         self.displayed: list[FrameRecord] = []
         self.skipped_frames = 0
         self._next_display_id = 0
+        #: highest frame id ever marked complete (frames never lose
+        #: completeness and are never dropped from ``frames``, so this
+        #: makes _has_newer_complete O(1)).
+        self._max_complete_id = -1
         self._blocked_since: float | None = None
         self._pli_pending = False
         self._started = False
@@ -160,8 +164,60 @@ class TransportReceiver:
         if (not record.complete
                 and record.packets_received >= record.packet_count):
             record.complete_at = self.loop.now
+            if record.frame_id > self._max_complete_id:
+                self._max_complete_id = record.frame_id
             if self.telemetry is not None:
                 self.telemetry.frame_stage(record.frame_id, "complete")
+            self._try_display()
+
+    def on_media_chunk(self, frame_id: int, first_seq: int, index0: int,
+                       packet_count: int, prev_sent_frame_id: Optional[int],
+                       send_times, arrivals, sizes,
+                       chunk_bytes: int) -> None:
+        """Batch-engine arrival of a contiguous fresh-media packet train.
+
+        Column-oriented twin of :meth:`on_packet` for never-retransmitted
+        media packets of one frame, delivered in arrival order. The
+        caller guarantees chronological delivery; this method moves the
+        clock to the completing packet's arrival before display so
+        ``complete_at``/``displayed_at`` match the reference path.
+        """
+        n = len(sizes)
+        self.feedback_builder.on_chunk(
+            first_seq, send_times, arrivals, sizes, frame_id)
+        # No FEC bookkeeping: the batch engine only installs on sessions
+        # without FEC, so no parity packet can ever reference these seqs.
+        record = self.frames.get(frame_id)
+        if record is None:
+            record = FrameRecord(
+                frame_id=frame_id,
+                capture_time=self.frame_capture_time.get(
+                    frame_id, float(arrivals[0])),
+                packet_count=packet_count,
+                quality_vmaf=self.frame_quality.get(frame_id, 0.0),
+            )
+            self.frames[frame_id] = record
+        if record.first_arrival is None:
+            record.first_arrival = float(arrivals[0])
+        if index0 == 0 and prev_sent_frame_id is not None:
+            record.prev_sent_frame_id = prev_sent_frame_id
+            if prev_sent_frame_id < self._next_display_id <= frame_id - 1:
+                self.skipped_frames += frame_id - self._next_display_id
+                self._next_display_id = frame_id
+                self._blocked_since = None
+        prev_received = record.packets_received
+        record.packets_received = prev_received + n
+        record.size_bytes += chunk_bytes
+        if (not record.complete
+                and record.packets_received >= record.packet_count):
+            completing = record.packet_count - prev_received - 1
+            if completing >= n:
+                completing = n - 1
+            complete_at = float(arrivals[completing])
+            self.loop.now = complete_at
+            record.complete_at = complete_at
+            if frame_id > self._max_complete_id:
+                self._max_complete_id = frame_id
             self._try_display()
 
     def _try_display(self) -> None:
@@ -190,8 +246,7 @@ class TransportReceiver:
             self._blocked_since = None
 
     def _has_newer_complete(self) -> bool:
-        return any(fid > self._next_display_id and rec.complete
-                   for fid, rec in self.frames.items())
+        return self._max_complete_id > self._next_display_id
 
     def _fec_repair(self, seq: int) -> None:
         """Reconstruct a lost media packet from parity and 'receive' it."""
@@ -223,6 +278,8 @@ class TransportReceiver:
         record.size_bytes += size
         if not record.complete and record.packets_received >= record.packet_count:
             record.complete_at = self.loop.now
+            if frame_id > self._max_complete_id:
+                self._max_complete_id = frame_id
             if self.telemetry is not None:
                 self.telemetry.frame_stage(record.frame_id, "complete")
             self._try_display()

@@ -225,7 +225,12 @@ class TestControlLawViolations:
         recent-RTT window is empty (feedback silence)."""
         def corrupt(s, a):
             ace = s.sender.ace_n
-            ace.queue_estimator._recent_rtts.clear()
+            est = ace.queue_estimator
+            # Feedback silence = the whole recent window aged out; the
+            # monotonic companions are trimmed in lockstep with it.
+            est._recent_rtts.clear()
+            est._standing.clear()
+            est._peaks.clear()
             new = ace.bucket_bytes + 2000.0
             ace._bucket_bytes = new
             ace.decisions.append(

@@ -1,0 +1,168 @@
+"""Batch-engine equivalence, fallback, and manifest-recording tests.
+
+The batch engine (DESIGN §10) macro-steps the pacer→link→queue pipeline
+between decision boundaries. Its contract:
+
+* ``engine="reference"`` is the default and is the bit-exact golden
+  path (also pinned by ``tests/test_sim_regression.py``).
+* ``engine="batch"`` produces metrics equivalent to reference within
+  float-reassociation noise on every committed baseline (verified here
+  via :func:`~repro.analysis.aggregate.paired_compare`).
+* Configurations the fast path does not model fall back to reference
+  semantics with a recorded :attr:`BatchEngine.fallback_reason` — and
+  then the results are *exactly* identical.
+* Fleet manifests record the engine, so cached grid cells can never be
+  silently mixed across engines.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.aggregate import paired_compare
+from repro.analysis.results import RunResult, canonical_metrics_json
+from repro.net.trace import BandwidthTrace, make_wifi_trace
+from repro.rtc.baselines import build_session, list_baselines
+from repro.rtc.session import SessionConfig
+from repro.sim import ENGINE_NAMES, get_engine
+from repro.sim.rng import RngStream
+
+#: paired-compare tolerance for fast-path sessions: measured worst
+#: relative divergence on 12-second wifi sessions is ~4e-12 (float
+#: reassociation amplified through the control loop); 1e-6 leaves six
+#: orders of magnitude of margin while still catching any real
+#: modelling divergence.
+REL_TOL = 1e-6
+
+PAIRED_METRICS = ("p50_latency", "p95_latency", "mean_vmaf", "loss_rate",
+                  "stall_rate", "received_fps")
+
+
+def _wifi_trace(duration: float = 12.0) -> BandwidthTrace:
+    return make_wifi_trace(RngStream(11, "test.batch.trace"),
+                           duration=duration)
+
+
+def _run_metrics(baseline: str, trace, config: SessionConfig, engine: str):
+    session = build_session(baseline, trace, config, engine=engine)
+    metrics = session.run()
+    return session, metrics
+
+
+def _paired_results(baseline: str, trace, config: SessionConfig):
+    """RunResults for both engines, keyed so engines form the pair axis."""
+    out = []
+    for engine in ENGINE_NAMES:
+        _, metrics = _run_metrics(baseline, trace, config, engine)
+        out.append(RunResult.from_metrics(
+            metrics, baseline=engine, trace=trace.name, seed=config.seed))
+    return out
+
+
+def test_engine_registry():
+    assert get_engine("reference").name == "reference"
+    assert get_engine("batch").name == "batch"
+    with pytest.raises(ValueError):
+        get_engine("warp")
+    # Engines are stateful; every call must hand out a fresh instance.
+    assert get_engine("batch") is not get_engine("batch")
+
+
+def test_reference_engine_is_the_default_and_bit_identical():
+    trace = BandwidthTrace.constant(8e6, duration=10.0)
+    cfg = SessionConfig(duration=3.0, seed=5)
+    _, default_metrics = _run_metrics("ace", trace, cfg, "reference")
+    implicit = build_session("ace", trace, cfg).run()
+    assert (canonical_metrics_json(default_metrics)
+            == canonical_metrics_json(implicit))
+
+
+@pytest.mark.parametrize("baseline", list_baselines())
+def test_batch_paired_compare_all_baselines(baseline):
+    """Every committed baseline agrees across engines within REL_TOL.
+
+    Baselines whose configuration is ineligible for the fast path
+    (FEC, audio, ...) exercise the fallback and must agree exactly;
+    fast-path baselines agree within float-reassociation noise.
+    """
+    trace = _wifi_trace()
+    cfg = SessionConfig(duration=4.0, seed=7, initial_bwe_bps=6e6)
+    results = _paired_results(baseline, trace, cfg)
+    for metric in PAIRED_METRICS:
+        cmp = paired_compare(results, "reference", "batch", metric=metric)
+        assert cmp.n == 1, f"{baseline}/{metric}: workloads did not pair"
+        ref = getattr(results[0], metric)
+        diff = abs(cmp.mean_diff)
+        limit = REL_TOL * max(abs(ref), 1e-3)
+        assert diff <= limit, (
+            f"{baseline}: {metric} diverged by {diff:.3e} "
+            f"(reference {ref!r}, limit {limit:.3e})")
+
+
+def test_batch_fast_path_engages_and_shrinks_event_count():
+    trace = BandwidthTrace.constant(12e6, duration=10.0)
+    cfg = SessionConfig(duration=4.0, seed=3, initial_bwe_bps=8e6)
+    ref_session, _ = _run_metrics("ace", trace, cfg, "reference")
+    batch_session, _ = _run_metrics("ace", trace, cfg, "batch")
+    assert batch_session.engine.fallback_reason is None
+    # The macro-step pipeline replaces per-packet heap events; the batch
+    # loop must process a small fraction of the reference event count.
+    assert batch_session.loop.processed < ref_session.loop.processed / 3
+
+
+@pytest.mark.parametrize("config_kwargs, expect", [
+    (dict(random_loss_rate=0.02), "loss"),
+    (dict(delay_jitter_std=0.002), "jitter"),
+    (dict(cross_traffic=True), "cross traffic"),
+    (dict(audio=True), "audio"),
+])
+def test_batch_fallback_is_reference_exact(config_kwargs, expect):
+    """Ineligible configs fall back with a reason and match bit-for-bit."""
+    trace = BandwidthTrace.constant(8e6, duration=8.0)
+    cfg = SessionConfig(duration=2.5, seed=9, **config_kwargs)
+    _, ref_metrics = _run_metrics("ace", trace, cfg, "reference")
+    batch_session, batch_metrics = _run_metrics("ace", trace, cfg, "batch")
+    reason = batch_session.engine.fallback_reason
+    assert reason is not None and expect in reason
+    assert (canonical_metrics_json(ref_metrics)
+            == canonical_metrics_json(batch_metrics))
+
+
+def test_batch_fallback_on_telemetry():
+    trace = BandwidthTrace.constant(8e6, duration=8.0)
+    cfg = SessionConfig(duration=2.0, seed=2)
+    session = build_session("ace", trace, cfg, engine="batch")
+    session.enable_telemetry()
+    session.run()
+    assert session.engine.fallback_reason == "telemetry attached"
+
+
+def test_grid_manifest_records_engine(tmp_path):
+    from repro.bench.parallel import run_grid
+
+    trace = BandwidthTrace.constant(10e6, duration=6.0, name="flat-10")
+    for engine in ENGINE_NAMES:
+        run_dir = tmp_path / engine
+        run_grid(["ace"], [trace], seeds=(3,), duration=1.5,
+                 run_dir=str(run_dir), engine=engine)
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["engine"] == engine
+
+
+def test_grid_engines_agree(tmp_path):
+    """run_grid(engine="batch") matches the reference grid within tol."""
+    from repro.bench.parallel import run_grid
+
+    trace = BandwidthTrace.constant(9e6, duration=8.0, name="flat-9")
+    grids = {
+        engine: run_grid(["ace", "webrtc-star"], [trace], seeds=(3,),
+                         duration=2.5, engine=engine)
+        for engine in ENGINE_NAMES
+    }
+    assert list(grids["reference"]) == list(grids["batch"])
+    for key, ref in grids["reference"].items():
+        bat = grids["batch"][key]
+        a, b = ref.p95_latency(), bat.p95_latency()
+        assert math.isfinite(a) and math.isfinite(b)
+        assert abs(a - b) <= REL_TOL * max(abs(a), 1e-3), key

@@ -1,0 +1,124 @@
+"""Differential property test: seeded fuzz scenarios through both engines.
+
+Satellite of the batch-engine work (DESIGN §10): the ``repro fuzz``
+scenario generator derives randomized-but-reproducible workloads from
+``(root_seed, index)``; this test runs every case through the reference
+and batch engines and asserts :func:`paired_compare` agreement on the
+headline metrics. Cases with impairments the fast path does not model
+(loss, jitter, cross traffic, audio) exercise the fallback seam and
+must agree exactly; eligible cases agree within float-reassociation
+noise.
+
+On divergence the failing case is *shrunk* with the fuzz harness's
+greedy simplifier (the failure predicate being cross-engine divergence
+rather than an invariant violation) and the shrunk case is re-run under
+flight-recorder telemetry so the assertion message carries the event
+context of the minimal reproduction.
+"""
+
+import pytest
+
+from repro.analysis.aggregate import paired_compare
+from repro.analysis.results import RunResult
+from repro.audit.fuzz import (
+    FuzzCase,
+    build_case_trace,
+    case_from_seed,
+    shrink,
+)
+from repro.rtc.baselines import build_session
+from repro.rtc.session import SessionConfig
+from repro.sim.batch import ineligible_reason
+
+ROOT_SEED = 1
+N_CASES = 10
+
+#: relative tolerance for fast-path cases (fallback cases are exact);
+#: measured fast-path divergence is ~1e-12, so this is pure margin.
+REL_TOL = 1e-6
+
+METRICS = ("p50_latency", "p95_latency", "mean_vmaf", "loss_rate",
+           "stall_rate", "received_fps")
+
+
+def _case_config(case: FuzzCase) -> SessionConfig:
+    # Mirrors repro.audit.fuzz.run_case so replaying a failure with
+    # ``repro fuzz --replay`` reproduces the same session.
+    return SessionConfig(
+        duration=case.duration,
+        seed=case.root_seed * 1_000_003 + case.index,
+        base_rtt=case.base_rtt,
+        queue_capacity_bytes=case.queue_capacity_bytes,
+        random_loss_rate=case.random_loss_rate,
+        contention_loss_rate=case.contention_loss_rate,
+        delay_jitter_std=case.delay_jitter_std,
+        cross_traffic=case.cross_traffic,
+        audio=case.audio,
+    )
+
+
+def _run_engine(case: FuzzCase, engine: str) -> RunResult:
+    session = build_session(case.baseline, build_case_trace(case),
+                            _case_config(case), engine=engine)
+    metrics = session.run()
+    # The engine pair axis goes where paired_compare expects baselines;
+    # each case is its own workload (trace=label) so cases pair 1:1.
+    return RunResult.from_metrics(metrics, baseline=engine,
+                                  trace=case.label,
+                                  seed=_case_config(case).seed)
+
+
+def _divergence(case: FuzzCase) -> tuple[float, str]:
+    """Worst relative metric divergence between the two engines."""
+    results = [_run_engine(case, "reference"), _run_engine(case, "batch")]
+    worst, worst_metric = 0.0, "none"
+    for metric in METRICS:
+        cmp = paired_compare(results, "reference", "batch", metric=metric)
+        if cmp.n != 1:
+            continue  # metric was NaN on at least one side (e.g. no frames)
+        ref = getattr(results[0], metric)
+        rel = abs(cmp.mean_diff) / max(abs(ref), 1e-3)
+        if rel > worst:
+            worst, worst_metric = rel, metric
+    return worst, worst_metric
+
+
+def _flight_dump(case: FuzzCase) -> str:
+    """Event context of ``case`` from a flight-recorder-only run."""
+    from repro.obs import Telemetry
+
+    session = build_session(case.baseline, build_case_trace(case),
+                            _case_config(case))
+    session.enable_telemetry(Telemetry(keep_events=False))
+    session.run()
+    return session.telemetry.flight.dump()
+
+
+def test_fuzz_scenarios_cover_both_seam_sides():
+    """The sweep must exercise the fast path AND the fallback path."""
+    reasons = []
+    for index in range(N_CASES):
+        case = case_from_seed(ROOT_SEED, index)
+        session = build_session(case.baseline, build_case_trace(case),
+                                _case_config(case))
+        reasons.append(ineligible_reason(session))
+    assert any(r is None for r in reasons), \
+        f"no eligible case in sweep: {reasons}"
+    assert any(r is not None for r in reasons), \
+        "no fallback case in sweep"
+
+
+@pytest.mark.parametrize("index", range(N_CASES))
+def test_fuzz_case_agrees_across_engines(index):
+    case = case_from_seed(ROOT_SEED, index)
+    worst, metric = _divergence(case)
+    if worst <= REL_TOL:
+        return
+    shrunk = shrink(case, fails=lambda c: _divergence(c)[0] > REL_TOL)
+    dump = _flight_dump(shrunk)
+    pytest.fail(
+        f"engines diverged on {case.describe()}: worst metric {metric} "
+        f"rel diff {worst:.3e} (tol {REL_TOL:.0e})\n"
+        f"shrunk reproduction: {shrunk.describe()}\n"
+        f"replay: python -m repro fuzz --replay {shrunk.label}\n"
+        f"flight recorder of shrunk case:\n{dump}")
