@@ -93,13 +93,26 @@ _FRAME_FIELDS = (
 )
 
 
-def metrics_to_dict(metrics: SessionMetrics) -> dict:
-    """Serialize a full :class:`SessionMetrics` to JSON-safe primitives.
+def metrics_to_dict(metrics) -> dict:
+    """Serialize session results to JSON-safe primitives.
 
-    ``bandwidth_fn`` is deliberately excluded — it is a live callable
-    owned by the trace; callers reattach it after
+    Accepts a single-flow :class:`SessionMetrics` or a multi-flow
+    :class:`~repro.arena.session.ArenaMetrics` (tagged with
+    ``"kind": "arena"``). ``bandwidth_fn`` is deliberately excluded —
+    it is a live callable owned by the trace; callers reattach it after
     :func:`metrics_from_dict` (the cache layer does this).
     """
+    if not isinstance(metrics, SessionMetrics):
+        # ArenaMetrics (duck-typed to avoid importing repro.arena here).
+        return {
+            "kind": "arena",
+            "duration": metrics.duration,
+            "discipline": metrics.discipline,
+            "specs": {str(fid): spec for fid, spec in metrics.specs.items()},
+            "router_stats": list(metrics.router_stats),
+            "flows": {str(fid): metrics_to_dict(m)
+                      for fid, m in metrics.flows.items()},
+        }
     return {
         "duration": metrics.duration,
         "packets_sent": metrics.packets_sent,
@@ -112,8 +125,18 @@ def metrics_to_dict(metrics: SessionMetrics) -> dict:
     }
 
 
-def metrics_from_dict(d: dict) -> SessionMetrics:
+def metrics_from_dict(d: dict):
     """Inverse of :func:`metrics_to_dict` (``bandwidth_fn`` stays None)."""
+    if d.get("kind") == "arena":
+        from repro.arena.session import ArenaMetrics
+        return ArenaMetrics(
+            duration=d["duration"],
+            discipline=d["discipline"],
+            specs={int(fid): spec for fid, spec in d["specs"].items()},
+            router_stats=list(d["router_stats"]),
+            flows={int(fid): metrics_from_dict(m)
+                   for fid, m in d["flows"].items()},
+        )
     metrics = SessionMetrics(
         duration=d["duration"],
         packets_sent=d["packets_sent"],

@@ -1,0 +1,52 @@
+"""Many-flow arena: shared bottlenecks, pluggable AQM, fairness reports.
+
+Public surface of the arena subsystem:
+
+- :class:`ArenaSession` / :class:`ArenaFlowSpec` — N concurrent RTC
+  flows (any registered baseline) over a shared bottleneck chain, with
+  per-flow join/leave times.
+- :class:`BottleneckSpec` / :class:`ArenaPath` — the router chain; each
+  router has a trace and a pluggable queue discipline from
+  :mod:`repro.net.aqm` (drop-tail, CoDel, PIE, Confucius-style).
+- :class:`ArenaMetrics` — per-flow :class:`~repro.rtc.metrics.SessionMetrics`
+  plus arena context, with a :meth:`~ArenaMetrics.fairness` report.
+- :mod:`repro.arena.fairness` — Jain's index, per-flow shares,
+  time-to-convergence for late joiners.
+- :func:`run_arena_grid` — sweep mixes x disciplines x traces x seeds
+  with the shared parallel runner, result cache, and fleet manifests.
+"""
+
+from repro.arena.fairness import (
+    FairnessReport,
+    FlowShare,
+    jain_index,
+    time_to_convergence,
+    window_throughput_bps,
+)
+from repro.arena.session import ArenaFlowSpec, ArenaMetrics, ArenaSession
+from repro.arena.topology import ArenaPath, BottleneckSpec
+
+__all__ = [
+    "ArenaFlowSpec",
+    "ArenaMetrics",
+    "ArenaPath",
+    "ArenaSession",
+    "BottleneckSpec",
+    "FairnessReport",
+    "FlowShare",
+    "jain_index",
+    "time_to_convergence",
+    "window_throughput_bps",
+    "run_arena_grid",
+    "parse_mix",
+]
+
+
+def __getattr__(name):
+    # Grid helpers import bench/analysis/obs; load them lazily so the
+    # core arena types stay importable from worker processes without
+    # dragging the whole reporting stack in.
+    if name in ("run_arena_grid", "parse_mix"):
+        from repro.arena import grid
+        return getattr(grid, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

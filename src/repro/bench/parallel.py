@@ -91,6 +91,12 @@ class GridTask:
     build_kwargs: dict = field(default_factory=dict)
     telemetry: bool = False
     audit: bool = False
+    #: multi-flow arena cell: ``{"flows": [ArenaFlowSpec kwargs, ...],
+    #: "discipline": name, "discipline_params": {...}}``. When set,
+    #: ``baseline`` is a display label (the mix string) and the cell
+    #: runs an :class:`~repro.arena.session.ArenaSession` instead of
+    #: :func:`build_session`; the result is an ``ArenaMetrics``.
+    arena: Optional[dict] = None
 
     def session_config(self) -> SessionConfig:
         if self.config is not None:
@@ -103,6 +109,26 @@ class GridTask:
         """Grid coordinates: (baseline, trace name, seed, category)."""
         cfg = self.session_config()
         return (self.baseline, self.trace.name, cfg.seed, self.category)
+
+    def cache_extra(self) -> dict:
+        """Extra payload folded into the result-cache key.
+
+        Arena cells add a canonical encoding of the flow mix; the queue
+        discipline enters the key only when non-default, so historical
+        drop-tail cache entries keep their identity while CoDel/PIE/
+        Confucius runs can never be served from a drop-tail slot.
+        """
+        if self.arena is None:
+            return self.build_kwargs
+        import json
+        extra = dict(self.build_kwargs)
+        spec = dict(self.arena)
+        if spec.get("discipline", "droptail") == "droptail" \
+                and not spec.get("discipline_params"):
+            spec.pop("discipline", None)
+            spec.pop("discipline_params", None)
+        extra["arena"] = json.dumps(spec, sort_keys=True)
+        return extra
 
     @property
     def instrumented(self) -> bool:
@@ -122,6 +148,17 @@ def _run_task(task: GridTask) -> SessionMetrics:
     saved = {name: os.environ.pop(name)
              for name in INSTRUMENT_ENV_VARS if name in os.environ}
     try:
+        if task.arena is not None:
+            from repro.arena.session import ArenaFlowSpec, ArenaSession
+            spec = task.arena
+            flows = [ArenaFlowSpec(**f) for f in spec["flows"]]
+            session = ArenaSession(
+                flows, task.trace, task.session_config(),
+                discipline=spec.get("discipline", "droptail"),
+                discipline_params=spec.get("discipline_params") or {})
+            metrics = session.run()
+            metrics.bandwidth_fn = None
+            return metrics
         session = build_session(task.baseline, task.trace,
                                 task.session_config(),
                                 category=task.category, **task.build_kwargs)
@@ -185,7 +222,7 @@ class ParallelRunner:
                     continue
                 key = cache.make_key(task.baseline, task.session_config(),
                                      task.trace, task.category,
-                                     task.build_kwargs)
+                                     task.cache_extra())
                 keys[i] = key
                 cached = cache.get(key)
                 if cached is not None:
@@ -267,6 +304,7 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
              run_dir: Optional[str] = None,
              verbose: bool = False,
              engine: str = "reference",
+             discipline: str = "droptail",
              ) -> dict[tuple, SessionMetrics]:
     """Run a (baseline x trace x seed x category) grid.
 
@@ -289,9 +327,18 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
     identity, while batch-engine results can never be served from (or
     stored into) a reference cell's slot. The manifest records the
     engine either way.
+
+    ``discipline=`` swaps the bottleneck queue discipline for every
+    cell, with the same convention: only a non-default discipline is
+    added to ``build_kwargs`` (and the cache key), so drop-tail cells
+    keep their historical cache identity and an AQM run can never be
+    served from a drop-tail slot. The manifest records the discipline
+    either way.
     """
     if engine != "reference":
         build_kwargs = {**(build_kwargs or {}), "engine": engine}
+    if discipline != "droptail":
+        build_kwargs = {**(build_kwargs or {}), "discipline": discipline}
     tasks = make_grid(baselines, traces, seeds=seeds, categories=categories,
                       duration=duration, fps=fps,
                       initial_bwe_bps=initial_bwe_bps,
@@ -312,7 +359,7 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
             cache_enabled=cache_obj is not None and cache_obj.enabled,
             cache_dir=(str(cache_obj.cache_dir)
                        if cache_obj is not None else None),
-            extra={"engine": engine}))
+            extra={"engine": engine, "discipline": discipline}))
 
     metrics = runner.run(tasks, observer=observer)
     out: dict[tuple, SessionMetrics] = {}

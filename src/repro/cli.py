@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 from repro.analysis.cache import ResultCache
 from repro.bench.parallel import GridTask, ParallelRunner
 from repro.bench.tables import fmt_ms, fmt_pct, print_table
+from repro.net.aqm import DEFAULT_DISCIPLINE, list_disciplines
 from repro.net.trace import (
     BandwidthTrace,
     make_4g_trace,
@@ -63,7 +64,9 @@ def run_one(baseline: str, args: argparse.Namespace):
     )
     session = build_session(baseline, trace, config, category=args.category,
                             cc_override=args.cc, codec_override=args.codec,
-                            engine=getattr(args, "engine", "reference"))
+                            engine=getattr(args, "engine", "reference"),
+                            discipline=getattr(args, "discipline",
+                                               DEFAULT_DISCIPLINE))
     return session.run()
 
 
@@ -86,6 +89,11 @@ def make_task(baseline: str, args: argparse.Namespace,
         # pre-engine cache identity, and cached cells can never be
         # silently served across engines.
         build_kwargs["engine"] = engine
+    discipline = getattr(args, "discipline", DEFAULT_DISCIPLINE)
+    if discipline != DEFAULT_DISCIPLINE:
+        # Same convention for the queue discipline: drop-tail cells keep
+        # their historical cache identity, AQM cells get their own.
+        build_kwargs["discipline"] = discipline
     return GridTask(baseline=baseline, trace=trace, category=args.category,
                     config=config, build_kwargs=build_kwargs)
 
@@ -152,7 +160,9 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
     session = build_session(args.baseline, trace, config,
                             category=args.category,
                             cc_override=args.cc, codec_override=args.codec,
-                            engine=getattr(args, "engine", "reference"))
+                            engine=getattr(args, "engine", "reference"),
+                            discipline=getattr(args, "discipline",
+                                               DEFAULT_DISCIPLINE))
     telemetry = session.enable_telemetry() if args.telemetry_out else None
     auditor = None
     if args.check:
@@ -437,16 +447,50 @@ def cmd_grid(args: argparse.Namespace) -> int:
     from repro.bench.parallel import run_grid
     from repro.obs import report_run
 
-    baselines = [b.strip() for b in args.baselines.split(",")]
     seeds = [int(s) for s in args.seeds.split(",")]
     traces = [make_trace(kind.strip(), args.seed, args.duration + 10)
               for kind in args.traces.split(",")]
+    disciplines = [d.strip() for d in args.discipline.split(",")]
+    if args.arena is not None:
+        # Arena sweep: mixes x disciplines x traces x seeds, per-flow
+        # results plus a fairness block in the run summary.
+        from repro.arena import run_arena_grid
+        mixes = [m.strip() for m in args.arena.split(";")]
+        results = run_arena_grid(
+            mixes, traces, disciplines=disciplines, seeds=seeds,
+            duration=args.duration, fps=args.fps,
+            initial_bwe_bps=args.initial_bwe * 1e6,
+            category=args.category,
+            jobs=args.jobs, use_cache=args.cache,
+            run_dir=args.run_dir, verbose=True,
+            window_s=args.window)
+        if args.run_dir is not None:
+            print()
+            print(report_run(args.run_dir))
+        else:
+            rows = []
+            for (mix, discipline, trace_name, seed), m in results.items():
+                for fid, fm in m.items():
+                    label = (f"{mix}/{discipline}/{trace_name}/s{seed}/"
+                             f"{m.specs[fid]['baseline']}#{fid}")
+                    rows.append(metrics_row(label, fm))
+            print_table(f"arena grid: {len(results)} cells", HEADERS, rows)
+            for key, m in results.items():
+                rep = m.fairness(window_s=args.window)
+                print(f"{'/'.join(str(p) for p in key)}: "
+                      f"jain {rep.jain_throughput:.3f}, "
+                      f"worst p95 {rep.worst_p95_latency_s * 1e3:.1f} ms")
+        return 0
+    if len(disciplines) != 1:
+        raise SystemExit("comma-separated --discipline needs --arena")
+    baselines = [b.strip() for b in args.baselines.split(",")]
     results = run_grid(baselines, traces, seeds=seeds,
                        duration=args.duration, fps=args.fps,
                        initial_bwe_bps=args.initial_bwe * 1e6,
                        jobs=args.jobs, use_cache=args.cache,
                        run_dir=args.run_dir, verbose=True,
-                       engine=getattr(args, "engine", "reference"))
+                       engine=getattr(args, "engine", "reference"),
+                       discipline=disciplines[0])
     if args.run_dir is not None:
         print()
         print(report_run(args.run_dir))
@@ -454,6 +498,65 @@ def cmd_grid(args: argparse.Namespace) -> int:
         rows = [metrics_row("/".join(str(part) for part in key), m)
                 for key, m in results.items()]
         print_table(f"grid: {len(results)} cells", HEADERS, rows)
+    return 0
+
+
+def cmd_arena(args: argparse.Namespace) -> int:
+    """``repro arena``: run one N-flow shared-bottleneck arena session.
+
+    ``--flows`` is a mix string (``base[*count][@start[:stop]]`` joined
+    by ``+``); ``--trace`` may be a comma list, one trace per router in
+    a bottleneck chain. Prints per-flow metrics plus a fairness summary
+    over the trailing ``--window`` seconds.
+    """
+    from repro.arena import (ArenaFlowSpec, ArenaSession, BottleneckSpec,
+                             parse_mix)
+
+    kinds = [k.strip() for k in args.trace.split(",")]
+    traces = [make_trace(kind, args.seed, args.duration + 10)
+              for kind in kinds]
+    config = SessionConfig(
+        duration=args.duration, seed=args.seed, fps=args.fps,
+        base_rtt=args.rtt / 1000.0, initial_bwe_bps=args.initial_bwe * 1e6,
+    )
+    flows = [ArenaFlowSpec(**{**f, "category": args.category})
+             for f in parse_mix(args.flows)]
+    bottlenecks = [BottleneckSpec(trace, discipline=args.discipline)
+                   for trace in traces]
+    session = ArenaSession(flows, config=config, bottlenecks=bottlenecks)
+    telemetry = session.enable_telemetry() if args.telemetry_out else None
+    metrics = session.run()
+    rows = [metrics_row(f"{metrics.specs[fid]['baseline']}#{fid}", fm)
+            for fid, fm in metrics.items()]
+    print_table(f"arena: {args.flows} over {args.trace} "
+                f"({args.discipline}, {args.duration:.0f}s)", HEADERS, rows)
+    report = metrics.fairness(window_s=args.window)
+    frows = []
+    for row in report.rows():
+        conv = row["convergence_s"]
+        frows.append([
+            f"{row['baseline']}#{row['flow_id']}",
+            f"{row['throughput_mbps']:.2f}",
+            f"{row['share']:.1%}",
+            fmt_ms(row["p95_latency_ms"] / 1e3),
+            f"{row['mean_vmaf']:.1f}",
+            "-" if conv is None else f"{conv:.0f}s",
+        ])
+    print_table(f"fairness over the final {report.window_s:.0f}s",
+                ["flow", "Mbps", "share", "p95 ms", "VMAF", "converged"],
+                frows)
+    print(f"Jain index (throughput): {report.jain_throughput:.3f}")
+    for i, stats in enumerate(metrics.router_stats):
+        extras = "".join(f", {k} {stats[k]}" for k in ("aqm_drops",
+                                                       "evictions")
+                         if k in stats)
+        print(f"router {i} ({stats['discipline']}): "
+              f"{stats['delivered_packets']} delivered, "
+              f"{stats['dropped_packets']} dropped{extras}")
+    if telemetry is not None:
+        from repro.obs import write_export_dir
+        jsonl, snapshot = write_export_dir(telemetry, args.telemetry_out)
+        print(f"telemetry: wrote {jsonl} and {snapshot}")
     return 0
 
 
@@ -493,6 +596,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="simulation engine: 'reference' is the golden "
                         "per-event loop, 'batch' macro-steps whole bursts "
                         "(faster, metrics equivalent within float noise)")
+    p.add_argument("--discipline", default=DEFAULT_DISCIPLINE,
+                   help="bottleneck queue discipline: "
+                        + "|".join(list_disciplines())
+                        + " (comma list with `grid --arena`)")
     p.add_argument("--cc", default=None,
                    help="override congestion controller (gcc|bbr|copa|delivery)")
     p.add_argument("--codec", default=None,
@@ -681,8 +788,30 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="DIR",
                         help="write manifest/cells.jsonl/results/summary "
                              "into DIR for `repro report`")
+    p_grid.add_argument("--arena", default=None, metavar="MIX",
+                        help="sweep arena cells instead of single flows: "
+                             "flow mix like 'ace*2+webrtc-star*2' "
+                             "(';'-separated for several mixes); "
+                             "--discipline may then be a comma list")
+    p_grid.add_argument("--window", type=float, default=10.0,
+                        help="fairness window in seconds (arena cells)")
     _add_common(p_grid)
     p_grid.set_defaults(func=cmd_grid)
+
+    p_arena = sub.add_parser(
+        "arena",
+        help="run N flows over a shared bottleneck with pluggable AQM")
+    p_arena.add_argument("--flows", default="ace*2+webrtc-star*2",
+                         help="flow mix: base[*count][@start[:stop]] "
+                              "joined by '+', e.g. ace*2+webrtc-star@5")
+    p_arena.add_argument("--window", type=float, default=10.0,
+                         help="fairness window in seconds")
+    p_arena.add_argument("--telemetry-out", default=None, metavar="DIR",
+                         dest="telemetry_out",
+                         help="export arena telemetry (per-router and "
+                              "per-flow queue gauges) into DIR")
+    _add_common(p_arena)
+    p_arena.set_defaults(func=cmd_arena)
 
     p_sc = sub.add_parser("scenario",
                           help="run a named paper-experiment scenario")

@@ -17,7 +17,16 @@ from repro.net.trace import (
     make_weak_network_trace,
     make_wifi_trace,
 )
-from repro.net.link import DropTailQueue, Link, LinkStats
+from repro.net.aqm import (
+    CoDelDiscipline,
+    ConfuciusDiscipline,
+    DropTailQueue,
+    PieDiscipline,
+    QueueDiscipline,
+    list_disciplines,
+    make_discipline,
+)
+from repro.net.link import Link, LinkStats
 from repro.net.path import NetworkPath, PathConfig
 from repro.net.packet_pair import PacketPairEstimator
 from repro.net.cross_traffic import CrossTrafficFlow, PageLoadGenerator
@@ -34,6 +43,12 @@ __all__ = [
     "make_weak_network_trace",
     "make_step_trace",
     "DropTailQueue",
+    "CoDelDiscipline",
+    "ConfuciusDiscipline",
+    "PieDiscipline",
+    "QueueDiscipline",
+    "list_disciplines",
+    "make_discipline",
     "Link",
     "LinkStats",
     "NetworkPath",

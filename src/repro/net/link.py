@@ -1,25 +1,34 @@
-"""Trace-driven bottleneck link with a drop-tail queue.
+"""Trace-driven bottleneck link with a pluggable queue discipline.
 
 This mirrors the Mahimahi configuration in the paper's testbed: the
 receiver's downlink is a variable-rate bottleneck with a drop-tail queue
 of fixed byte capacity (100 KB in all experiments). Packets serialize at
 the instantaneous trace rate; when the queue is full, arrivals are
 dropped from the tail.
+
+The queue itself is a :class:`~repro.net.aqm.QueueDiscipline`. The
+default is the paper's :class:`~repro.net.aqm.DropTailQueue` (extracted
+to ``net/aqm.py``), which keeps the historical inlined fast path — and
+therefore bit-identical single-flow sessions. Any other discipline
+(CoDel, PIE, Confucius-style; see :mod:`repro.net.aqm`) is driven
+through the generic ``enqueue``/``select_head``/``pop_head`` protocol:
+the selected packet stays in the queue while it serializes, exactly like
+the drop-tail head, so occupancy accounting is discipline-independent.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from typing import Callable, Optional
 
+from repro.net.aqm import DEFAULT_QUEUE_CAPACITY_BYTES, DropTailQueue, \
+    QueueDiscipline
 from repro.net.packet import Packet
 from repro.net.trace import BandwidthTrace
 from repro.sim.events import EventLoop
 
-#: The paper fixes the emulated network buffer at 100 KB for all main
-#: experiments (§6.1).
-DEFAULT_QUEUE_CAPACITY_BYTES = 100_000
+__all__ = ["DEFAULT_QUEUE_CAPACITY_BYTES", "DropTailQueue", "Link",
+           "LinkStats"]
 
 
 @dataclass
@@ -42,66 +51,40 @@ class LinkStats:
         return self.dropped_packets / total if total else 0.0
 
 
-class DropTailQueue:
-    """FIFO byte-bounded queue; arrivals beyond capacity are dropped."""
-
-    def __init__(self, capacity_bytes: int = DEFAULT_QUEUE_CAPACITY_BYTES) -> None:
-        if capacity_bytes <= 0:
-            raise ValueError("queue capacity must be positive")
-        self.capacity_bytes = capacity_bytes
-        self._queue: Deque[Packet] = deque()
-        self._bytes = 0
-
-    def __len__(self) -> int:
-        return len(self._queue)
-
-    @property
-    def bytes_queued(self) -> int:
-        return self._bytes
-
-    @property
-    def headroom_bytes(self) -> int:
-        return self.capacity_bytes - self._bytes
-
-    def try_push(self, packet: Packet) -> bool:
-        """Append ``packet`` if it fits; return False (drop) otherwise."""
-        if self._bytes + packet.size_bytes > self.capacity_bytes:
-            return False
-        self._queue.append(packet)
-        self._bytes += packet.size_bytes
-        return True
-
-    def pop(self) -> Packet:
-        packet = self._queue.popleft()
-        self._bytes -= packet.size_bytes
-        return packet
-
-    def peek(self) -> Optional[Packet]:
-        return self._queue[0] if self._queue else None
-
-
 class Link:
     """Single-server bottleneck: serialize packets at the trace rate.
 
     ``on_deliver(packet)`` fires when a packet finishes serialization;
-    ``on_drop(packet)`` fires on tail drop. The serialization time of a
-    packet is computed from the trace rate at service start — fine at the
-    paper's 200 ms trace granularity, where thousands of packets share
-    each rate sample.
+    ``on_drop(packet)`` fires on any queue drop (tail drop, AQM early
+    drop, or in-queue eviction). The serialization time of a packet is
+    computed from the trace rate at service start — fine at the paper's
+    200 ms trace granularity, where thousands of packets share each rate
+    sample.
+
+    ``discipline`` plugs in a non-default queue discipline; ``None``
+    keeps the paper's drop-tail queue on the inlined fast path.
     """
 
     def __init__(self, loop: EventLoop, trace: BandwidthTrace,
                  queue_capacity_bytes: int = DEFAULT_QUEUE_CAPACITY_BYTES,
                  on_deliver: Optional[Callable[[Packet], None]] = None,
-                 on_drop: Optional[Callable[[Packet], None]] = None) -> None:
+                 on_drop: Optional[Callable[[Packet], None]] = None,
+                 discipline: Optional[QueueDiscipline] = None) -> None:
         self.loop = loop
         self.trace = trace
-        self.queue = DropTailQueue(queue_capacity_bytes)
+        self.queue = (discipline if discipline is not None
+                      else DropTailQueue(queue_capacity_bytes))
         self.on_deliver = on_deliver
         self.on_drop = on_drop
         self.stats = LinkStats()
         self._busy = False
         self._service_started_at = 0.0
+        # The plain drop-tail queue keeps the historical inlined hot
+        # path; every other discipline goes through the generic protocol
+        # (and reports in-queue drops through drop_hook).
+        self._fast_droptail = type(self.queue) is DropTailQueue
+        if not self._fast_droptail:
+            self.queue.drop_hook = self._dropped_in_queue
         # Hot-path bound-method caches (one lookup per packet otherwise).
         self._rate_at = trace.rate_at
         self._occupancy = self.stats.occupancy_samples
@@ -120,22 +103,32 @@ class Link:
         return len(self.queue)
 
     def send(self, packet: Packet) -> bool:
-        """Offer ``packet`` to the link; returns False if tail-dropped."""
+        """Offer ``packet`` to the link; returns False if dropped on arrival."""
         now = self.loop.now
         packet.t_enter_queue = now
         stats = self.stats
         size = packet.size_bytes
         queue = self.queue
-        queued = queue._bytes + size
-        if queued > queue.capacity_bytes:     # try_push inlined (hot path)
-            packet.dropped = True
-            stats.dropped_packets += 1
-            stats.dropped_bytes += size
-            if self.on_drop is not None:
-                self.on_drop(packet)
-            return False
-        queue._queue.append(packet)
-        queue._bytes = queued
+        if self._fast_droptail:
+            queued = queue._bytes + size
+            if queued > queue.capacity_bytes:     # try_push inlined (hot path)
+                packet.dropped = True
+                stats.dropped_packets += 1
+                stats.dropped_bytes += size
+                if self.on_drop is not None:
+                    self.on_drop(packet)
+                return False
+            queue._queue.append(packet)
+            queue._bytes = queued
+        else:
+            if not queue.enqueue(packet, now):
+                packet.dropped = True
+                stats.dropped_packets += 1
+                stats.dropped_bytes += size
+                if self.on_drop is not None:
+                    self.on_drop(packet)
+                return False
+            queued = queue.bytes_queued
         stats.enqueued_packets += 1
         stats.enqueued_bytes += size
         self._occupancy.append((now, queued))
@@ -143,12 +136,25 @@ class Link:
             self._start_service()
         return True
 
+    def _dropped_in_queue(self, packet: Packet) -> None:
+        """A discipline dropped/evicted a packet it had already queued."""
+        packet.dropped = True
+        stats = self.stats
+        stats.dropped_packets += 1
+        stats.dropped_bytes += packet.size_bytes
+        self._occupancy.append((self.loop.now, self.queue.bytes_queued))
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
     def _sample_occupancy(self) -> None:
         self._occupancy.append((self.loop.now, self.queue.bytes_queued))
 
     def _start_service(self) -> None:
         queue = self.queue
-        packet = queue._queue[0] if queue._queue else None
+        if self._fast_droptail:
+            packet = queue._queue[0] if queue._queue else None
+        else:
+            packet = queue.select_head(self.loop.now)
         if packet is None:
             self._busy = False
             return
@@ -166,25 +172,32 @@ class Link:
 
     def _retry_service(self) -> None:
         self._busy = False
-        if self.queue.peek() is not None:
+        if len(self.queue):
             self._start_service()
 
     def _finish_service(self) -> None:
         queue = self.queue
-        packet = queue.pop()
+        packet = queue.pop() if self._fast_droptail else queue.pop_head()
         now = self.loop.now
         packet.t_leave_queue = now
         stats = self.stats
         stats.delivered_packets += 1
         stats.delivered_bytes += packet.size_bytes
         stats.busy_time += now - self._service_started_at
-        self._occupancy.append((now, queue._bytes))
+        self._occupancy.append((now, queue._bytes if self._fast_droptail
+                                else queue.bytes_queued))
         if self.on_deliver is not None:
             self.on_deliver(packet)
-        if queue._queue:
-            self._start_service()
+        if self._fast_droptail:
+            if queue._queue:
+                self._start_service()
+            else:
+                self._busy = False
         else:
-            self._busy = False
+            if len(queue):
+                self._start_service()
+            else:
+                self._busy = False
 
     def utilization(self, horizon: Optional[float] = None) -> float:
         """Fraction of elapsed time the link spent serializing packets."""

@@ -63,7 +63,8 @@ class NetworkPath:
 
     def __init__(self, loop: EventLoop, trace: BandwidthTrace,
                  config: Optional[PathConfig] = None,
-                 rng: Optional[RngStream] = None) -> None:
+                 rng: Optional[RngStream] = None,
+                 discipline=None) -> None:
         self.loop = loop
         self.config = config or PathConfig()
         self.rng = rng
@@ -76,6 +77,7 @@ class NetworkPath:
             queue_capacity_bytes=self.config.queue_capacity_bytes,
             on_deliver=self._delivered_by_link,
             on_drop=self._dropped_by_link,
+            discipline=discipline,
         )
         self.lost_packets: list[Packet] = []
         #: When set, every packet handed to :meth:`send` is routed to

@@ -53,7 +53,7 @@ from repro.obs.export import (
     write_jsonl,
     write_snapshot,
 )
-from repro.obs.wiring import instrument_stack
+from repro.obs.wiring import instrument_arena, instrument_stack
 
 __all__ = [
     "BLAME_CATEGORIES",
@@ -79,6 +79,7 @@ __all__ = [
     "build_manifest",
     "diff_runs",
     "filter_records",
+    "instrument_arena",
     "instrument_stack",
     "load_run",
     "prometheus_snapshot",

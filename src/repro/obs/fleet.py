@@ -217,8 +217,13 @@ class FleetObserver:
     # ------------------------------------------------------------------
     # finalization
     # ------------------------------------------------------------------
-    def finalize(self, cache_counters: Optional[dict] = None) -> dict:
-        """Write ``summary.json``; returns the summary dict."""
+    def finalize(self, cache_counters: Optional[dict] = None,
+                 extra: Optional[dict] = None) -> dict:
+        """Write ``summary.json``; returns the summary dict.
+
+        ``extra`` merges additional run-level blocks into the summary —
+        the arena grid uses it to attach per-cell fairness results.
+        """
         summary = {
             "cells": self.total,
             "completed": self.done,
@@ -231,6 +236,8 @@ class FleetObserver:
                         for pid, stats in sorted(self.workers.items())},
             "stragglers": self.stragglers,
         }
+        if extra:
+            summary.update(extra)
         (self.run_dir / "summary.json").write_text(
             json.dumps(summary, indent=2, sort_keys=True) + "\n")
         return summary
@@ -285,6 +292,23 @@ def report_run(run_dir: str | Path) -> str:
                          f"(median {straggler['median_s']:.2f}s)")
     lines.append("")
     lines.append(render_aggregate(aggregate(results)))
+    fairness = summary.get("fairness") if summary else None
+    if fairness:
+        lines.append("")
+        lines.append("fairness (trailing-window Jain / worst-flow p95):")
+        for cell, stats in sorted(fairness.items()):
+            conv = stats.get("convergence_s")
+            conv_txt = ""
+            if conv:
+                pretty = ", ".join(
+                    f"{fid}:{'-' if v is None else f'{v:.0f}s'}"
+                    for fid, v in sorted(conv.items()))
+                conv_txt = f"  conv[{pretty}]"
+            lines.append(
+                f"  {cell:<44} jain {stats['jain']:.3f}  "
+                f"worst p95 {stats['worst_p95_ms']:.1f} ms{conv_txt}")
+    if manifest.get("arena"):
+        return "\n".join(lines)
     reference = manifest["baselines"][0]
     others = [b for b in manifest["baselines"] if b != reference]
     if others:
@@ -323,8 +347,8 @@ def diff_runs(candidate_dir: str | Path, reference_dir: str | Path,
     (relative, direction-aware: latency/loss down is good, VMAF/fps up
     is good) is a regression. Returns ``(report text, regressions)``.
     """
-    _, cand_results, _ = load_run(candidate_dir)
-    _, ref_results, _ = load_run(reference_dir)
+    _, cand_results, cand_summary = load_run(candidate_dir)
+    _, ref_results, ref_summary = load_run(reference_dir)
     cand = aggregate(cand_results, metrics=metrics)
     ref = aggregate(ref_results, metrics=metrics)
     lines = [f"diff: {Path(candidate_dir)} vs {Path(reference_dir)} "
@@ -355,5 +379,28 @@ def diff_runs(candidate_dir: str | Path, reference_dir: str | Path,
     for baseline in only:
         side = "candidate" if baseline in cand else "reference"
         lines.append(f"  {baseline:<14} only in {side} run")
+    # Arena fairness cells: Jain index (higher is better) and worst-flow
+    # p95 (lower is better) per arena cell, from the run summaries.
+    cand_fair = (cand_summary or {}).get("fairness", {})
+    ref_fair = (ref_summary or {}).get("fairness", {})
+    for cell in sorted(set(cand_fair) & set(ref_fair)):
+        for metric, higher_better in (("jain", True), ("worst_p95_ms", False)):
+            new = cand_fair[cell].get(metric)
+            old = ref_fair[cell].get(metric)
+            if new is None or old is None or new != new or old != old:
+                continue
+            rel = 0.0 if old == 0.0 and new == 0.0 else (
+                float("inf") if old == 0.0 else (new - old) / abs(old))
+            worsened = -rel if higher_better else rel
+            flag = "~"
+            if worsened > tolerance:
+                flag = "REGRESSED"
+                regressions.append({"baseline": cell, "metric": metric,
+                                    "old": old, "new": new, "rel": rel})
+            elif worsened < -tolerance:
+                flag = "improved"
+            lines.append(f"  {cell:<14} {metric:<14} "
+                         f"{old:>12.6g} -> {new:>12.6g} "
+                         f"({rel:+.1%})  {flag}")
     lines.append(f"{len(regressions)} regression(s)")
     return "\n".join(lines), regressions

@@ -104,3 +104,39 @@ def instrument_stack(telemetry: "Telemetry", *,
 
         link.on_drop = on_drop
     return telemetry
+
+
+def instrument_arena(telemetry: "Telemetry", arena) -> "Telemetry":
+    """Register arena-level gauges: per-router and per-flow queue state.
+
+    ``arena`` is an :class:`~repro.arena.session.ArenaSession`. Every
+    sample function is a pure read (occupancy scans reuse
+    :func:`repro.net.aqm.queued_bytes_by_flow`, which never mutates
+    discipline state) and runs only at the telemetry tick rate, so
+    instrumentation stays off the per-packet hot path.
+    """
+    from repro.net.aqm import queued_bytes_by_flow
+
+    registry = telemetry.registry
+    links = arena.path.links
+    for i, link in enumerate(links):
+        registry.gauge(f"arena.router{i}.queue_bytes",
+                       sample_fn=lambda l=link: l.queued_bytes,
+                       help=f"Bytes queued at arena router {i}")
+
+    def _flow_queued(fid: int) -> int:
+        return sum(queued_bytes_by_flow(link.queue).get(fid, 0)
+                   for link in links)
+
+    def _flow_share(fid: int) -> float:
+        total = sum(link.queued_bytes for link in links)
+        return _flow_queued(fid) / total if total else 0.0
+
+    for fid in sorted(arena.senders):
+        registry.gauge(f"arena.flow{fid}.queue_bytes",
+                       sample_fn=lambda f=fid: _flow_queued(f),
+                       help=f"Bytes flow {fid} holds across arena routers")
+        registry.gauge(f"arena.flow{fid}.queue_share",
+                       sample_fn=lambda f=fid: _flow_share(f),
+                       help=f"Flow {fid}'s fraction of queued bytes")
+    return telemetry

@@ -200,7 +200,9 @@ def build_session(baseline: str | BaselineSpec, trace: BandwidthTrace,
                   ace_c_config: Optional[AceCConfig] = None,
                   cc_override: Optional[str] = None,
                   codec_override: Optional[str] = None,
-                  engine: str = "reference") -> RtcSession:
+                  engine: str = "reference",
+                  discipline: str = "droptail",
+                  discipline_params: Optional[dict] = None) -> RtcSession:
     """Build a runnable session for a named baseline over ``trace``.
 
     ``category`` picks the synthetic content profile; pass
@@ -209,7 +211,9 @@ def build_session(baseline: str | BaselineSpec, trace: BandwidthTrace,
     for the Fig. 21 interaction experiments; ``codec_override`` swaps the
     encoder model ("x264"/"x265"/"vp9"/"av1"/...) — the Appendix A
     generalization, since every codec model exposes the same three
-    complexity levels ACE-C drives.
+    complexity levels ACE-C drives. ``discipline`` swaps the bottleneck
+    queue discipline (see :mod:`repro.net.aqm`); the default drop-tail
+    keeps bit-identical historical behaviour.
     """
     spec = get_spec(baseline) if isinstance(baseline, str) else baseline
     if cc_override is not None:
@@ -246,4 +250,6 @@ def build_session(baseline: str | BaselineSpec, trace: BandwidthTrace,
         ace_n_config=ace_n_config,
         ace_c_config=ace_c_config,
         engine=engine,
+        discipline=discipline,
+        discipline_params=discipline_params,
     )

@@ -1,32 +1,26 @@
 """Multi-flow sessions: several RTC senders sharing one bottleneck.
 
-The paper evaluates fairness against web cross-traffic (Fig. 24); an
-obvious follow-up question is RTC-vs-RTC: what happens when two ACE
-flows — or an ACE flow and a paced flow — share the same drop-tail
-bottleneck? This module runs N independent sender/receiver pairs over
-one :class:`~repro.net.path.NetworkPath`, with per-flow packet routing
-and feedback, and reports per-flow metrics.
+Compatibility surface over the arena subsystem. ``MultiFlowRtcSession``
+is now a thin wrapper around :class:`~repro.arena.session.ArenaSession`
+restricted to the historical shape — one drop-tail bottleneck, all
+flows joining at t=0 — and it produces the same event sequence (and
+therefore bit-identical per-flow metrics) as the pre-arena
+implementation. New code should use :mod:`repro.arena` directly, which
+adds bottleneck chains, pluggable queue disciplines, late joiners, and
+fairness reporting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.net.packet import Packet, PacketType
-from repro.net.path import NetworkPath, PathConfig
+from repro.arena.session import ArenaFlowSpec, ArenaSession
 from repro.net.trace import BandwidthTrace
-from repro.rtc.baselines import BaselineSpec, get_spec, _codec_factory, \
-    _cc_factory, _pacer_factory, _rate_control_factory
 from repro.rtc.metrics import SessionMetrics
-from repro.rtc.sender import Sender, SenderConfig
-from repro.rtc.session import SessionConfig, _CaptureTimeView, _QualityView
-from repro.core.ace_c import AceCConfig, AceCController
-from repro.core.ace_n import AceNConfig, AceNController
-from repro.sim.events import EventLoop
-from repro.sim.rng import SeedSequenceFactory
-from repro.transport.receiver import TransportReceiver
-from repro.video.source import VideoSource
+from repro.rtc.session import SessionConfig
+
+__all__ = ["FlowSpec", "MultiFlowRtcSession"]
 
 
 @dataclass
@@ -39,160 +33,16 @@ class FlowSpec:
     flow_id: int = 1
 
 
-class MultiFlowRtcSession:
-    """N RTC flows over one shared bottleneck path."""
+class MultiFlowRtcSession(ArenaSession):
+    """N RTC flows over one shared drop-tail bottleneck path."""
 
     def __init__(self, flows: Sequence[FlowSpec], trace: BandwidthTrace,
                  config: Optional[SessionConfig] = None) -> None:
-        if not flows:
-            raise ValueError("need at least one flow")
-        ids = [f.flow_id for f in flows]
-        if len(set(ids)) != len(ids) or any(i <= 0 for i in ids):
-            raise ValueError("flow ids must be unique and positive")
-        self.flows = list(flows)
-        self.config = config or SessionConfig()
-        self.trace = trace
-        self.loop = EventLoop()
-        self.rngs = SeedSequenceFactory(self.config.seed)
-        self.path = NetworkPath(
-            self.loop, trace,
-            PathConfig(base_rtt=self.config.base_rtt,
-                       queue_capacity_bytes=self.config.queue_capacity_bytes,
-                       random_loss_rate=self.config.random_loss_rate,
-                       contention_loss_rate=self.config.contention_loss_rate),
-            rng=self.rngs.stream("path.loss"),
-        )
-        self.senders: dict[int, Sender] = {}
-        self.receivers: dict[int, TransportReceiver] = {}
-        self.codecs: dict[int, object] = {}
-        self._media_drops: dict[int, int] = {}
-        self._finished = False
-        for flow in self.flows:
-            self._build_flow(flow)
-        self.path.on_arrival = self._on_arrival
-        self.path.on_feedback = self._on_feedback
-        self.path.on_drop = self._on_drop
+        super().__init__(
+            [ArenaFlowSpec(baseline=f.baseline, category=f.category,
+                           flow_id=f.flow_id) for f in flows],
+            trace, config)
 
-    # ------------------------------------------------------------------
-    def _build_flow(self, flow: FlowSpec) -> None:
-        spec: BaselineSpec = get_spec(flow.baseline)
-        fid = flow.flow_id
-        frngs = self.rngs.fork(f"flow{fid}")
-        codec = _codec_factory(spec)(frngs)
-        source = VideoSource.from_category(flow.category,
-                                           frngs.stream("source"),
-                                           fps=self.config.fps)
-        cc = _cc_factory(spec, self.config.initial_bwe_bps,
-                         self.config.max_bwe_bps)()
-
-        def tagged_send(packet: Packet, _fid=fid) -> None:
-            packet.flow_id = _fid
-            self.path.send(packet)
-
-        pacer = _pacer_factory(spec, None)(self.loop, tagged_send)
-        pacer.set_pacing_rate(cc.bwe_bps)
-
-        sender_cfg = SenderConfig(
-            fps=self.config.fps,
-            ace_c_enabled=spec.ace_c,
-            ace_n_enabled=spec.ace_n,
-            salsify_mode=spec.salsify,
-            fec_enabled=spec.fec,
-            max_target_bitrate_bps=spec.max_target_bitrate_bps,
-        )
-        ace_n = AceNController(AceNConfig()) if spec.ace_n else None
-        ace_c = None
-        if spec.ace_c:
-            levels = codec.config.levels
-            budget_bits = self.config.initial_bwe_bps / self.config.fps
-            base_time = levels[0].encode_time(budget_bits)
-            ace_c = AceCController(
-                num_levels=len(levels), fps=self.config.fps,
-                config=AceCConfig(
-                    initial_phi=tuple(l.phi for l in levels),
-                    initial_delta_te=tuple(
-                        max(0.0, l.encode_time(budget_bits) - base_time)
-                        for l in levels)))
-
-        sender = Sender(self.loop, source, codec, _rate_control_factory(spec)(),
-                        pacer, cc, self.path, config=sender_cfg,
-                        ace_c=ace_c, ace_n=ace_n)
-        receiver = TransportReceiver(
-            self.loop,
-            send_feedback_fn=lambda msg, _fid=fid: self.path.send_feedback((_fid, msg)),
-            decode_time_fn=codec.decode_time,
-        )
-        receiver.frame_capture_time = _CaptureTimeView(sender)
-        receiver.frame_quality = _QualityView(sender)
-        self.senders[fid] = sender
-        self.receivers[fid] = receiver
-        self.codecs[fid] = codec
-        self._media_drops[fid] = 0
-        self._sync_cursors = getattr(self, "_sync_cursors", {})
-        self._sync_cursors[fid] = 0
-
-    # ------------------------------------------------------------------
-    def _on_arrival(self, packet: Packet) -> None:
-        receiver = self.receivers.get(packet.flow_id)
-        if receiver is None:
-            return
-        receiver.on_packet(packet)
-        self._sync_flow(packet.flow_id)
-
-    def _sync_flow(self, fid: int) -> None:
-        receiver = self.receivers[fid]
-        sender = self.senders[fid]
-        displayed = receiver.displayed
-        cursor = self._sync_cursors[fid]
-        while cursor < len(displayed):
-            record = displayed[cursor]
-            cursor += 1
-            metrics = sender.frame_metrics.get(record.frame_id)
-            if metrics is not None and metrics.displayed_at is None:
-                metrics.complete_at = record.complete_at
-                metrics.displayed_at = record.displayed_at
-                metrics.had_retransmission = record.had_retransmission
-                sender.forget_frame(record.frame_id)
-        self._sync_cursors[fid] = cursor
-
-    def _on_feedback(self, message) -> None:
-        fid, msg = message
-        sender = self.senders.get(fid)
-        if sender is not None:
-            sender.on_feedback(msg)
-
-    def _on_drop(self, packet: Packet) -> None:
-        if packet.flow_id in self._media_drops:
-            self._media_drops[packet.flow_id] += 1
-
-    # ------------------------------------------------------------------
-    def run(self) -> dict[int, SessionMetrics]:
+    def run(self) -> dict[int, SessionMetrics]:  # type: ignore[override]
         """Run all flows; returns per-flow metrics keyed by flow id."""
-        if self._finished:
-            raise RuntimeError("session already ran; build a new one")
-        for sender in self.senders.values():
-            sender.start()
-        for receiver in self.receivers.values():
-            receiver.start()
-        self.loop.run(until=self.config.duration)
-        for sender in self.senders.values():
-            sender.stop()
-        self.loop.run(until=self.config.duration + 0.5)
-        for fid in self.senders:
-            self._sync_flow(fid)
-        self._finished = True
-        return {fid: self._collect(fid) for fid in self.senders}
-
-    def _collect(self, fid: int) -> SessionMetrics:
-        sender = self.senders[fid]
-        metrics = SessionMetrics(duration=self.config.duration)
-        metrics.frames = [sender.frame_metrics[k]
-                          for k in sorted(sender.frame_metrics)]
-        metrics.packets_sent = sender.pacer.stats.sent_packets
-        metrics.packets_lost = sum(
-            1 for p in self.path.lost_packets if p.flow_id == fid)
-        metrics.packets_retransmitted = sender.retransmissions
-        metrics.send_events = list(sender.send_events)
-        metrics.bwe_history = [(s.time, s.bwe_bps) for s in sender.cc.history]
-        metrics.bandwidth_fn = self.trace.rate_at
-        return metrics
+        return super().run().flows

@@ -141,12 +141,16 @@ class RtcSession:
                  sender_config: Optional[SenderConfig] = None,
                  ace_n_config: Optional[AceNConfig] = None,
                  ace_c_config: Optional[AceCConfig] = None,
-                 telemetry=None, engine: str = "reference") -> None:
+                 telemetry=None, engine: str = "reference",
+                 discipline: str = "droptail",
+                 discipline_params: Optional[dict] = None) -> None:
         self.trace = trace
         self.config = config
         #: simulation engine name ("reference" or "batch"); resolved to
         #: an engine instance at :meth:`run` time.
         self.engine_name = engine
+        #: bottleneck queue discipline name (see repro.net.aqm).
+        self.discipline = discipline
         self.loop = EventLoop()
         self.rngs = SeedSequenceFactory(config.seed)
 
@@ -157,8 +161,20 @@ class RtcSession:
             contention_loss_rate=config.contention_loss_rate,
             delay_jitter_std=config.delay_jitter_std,
         )
+        # The default drop-tail stays on Link's inlined fast path
+        # (bit-identical goldens); anything else is built here with its
+        # own named RNG stream so AQM randomness never perturbs the
+        # source/loss streams.
+        queue = None
+        if discipline != "droptail" or discipline_params:
+            from repro.net.aqm import make_discipline
+            queue = make_discipline(discipline,
+                                    config.queue_capacity_bytes,
+                                    rng=self.rngs.stream("aqm"),
+                                    **(discipline_params or {}))
         self.path = NetworkPath(self.loop, trace, path_config,
-                                rng=self.rngs.stream("path.loss"))
+                                rng=self.rngs.stream("path.loss"),
+                                discipline=queue)
         self.transport = SimTransport(self.path)
 
         self.codec = codec_factory(self.rngs)

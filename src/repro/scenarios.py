@@ -37,6 +37,10 @@ class Scenario:
     fps: float = 30.0
     category: str = "gaming"
     config_overrides: dict = field(default_factory=dict)
+    #: arena scenario: a flow-mix string (see repro.arena.parse_mix)
+    #: run once per discipline; ``baselines`` is then ignored.
+    arena_mix: Optional[str] = None
+    disciplines: tuple[str, ...] = ("droptail",)
 
 
 def _library_trace(cls: str, index: int = 0) -> Callable[[int], BandwidthTrace]:
@@ -49,6 +53,13 @@ def _campus(hour: float) -> Callable[[int], BandwidthTrace]:
     def factory(seed: int) -> BandwidthTrace:
         return make_campus_wifi_trace(RngStream(seed, f"campus.{hour}"),
                                       duration=120.0, hour_of_day=hour)
+    return factory
+
+
+def _const(mbps: float) -> Callable[[int], BandwidthTrace]:
+    def factory(seed: int) -> BandwidthTrace:
+        return BandwidthTrace.constant(mbps * 1e6, duration=300.0,
+                                       name=f"const{mbps:g}")
     return factory
 
 
@@ -106,6 +117,34 @@ SCENARIOS: dict[str, Scenario] = {
         config_overrides={"contention_loss_rate": 0.05,
                           "queue_capacity_bytes": 500_000},
     ),
+    "arena-rtc-rtc": Scenario(
+        name="arena-rtc-rtc",
+        description="Arena: two ACE vs two GCC (webrtc-star) flows on a "
+                    "shared 20 Mbps drop-tail bottleneck.",
+        baselines=(),
+        traces=(("const20", _const(20.0)),),
+        duration=25.0,
+        arena_mix="ace*2+webrtc-star*2",
+    ),
+    "arena-aqm": Scenario(
+        name="arena-aqm",
+        description="Arena: ACE vs GCC under every queue discipline "
+                    "(drop-tail, CoDel, PIE, Confucius-style).",
+        baselines=(),
+        traces=(("wifi", _library_trace("wifi")),),
+        duration=25.0,
+        arena_mix="ace+webrtc-star",
+        disciplines=("droptail", "codel", "pie", "confucius"),
+    ),
+    "arena-late-joiner": Scenario(
+        name="arena-late-joiner",
+        description="Arena: a GCC flow joins two established ACE flows "
+                    "at t=8s (convergence measurement).",
+        baselines=(),
+        traces=(("const20", _const(20.0)),),
+        duration=25.0,
+        arena_mix="ace*2+webrtc-star@8",
+    ),
     "lossy-link": Scenario(
         name="lossy-link",
         description="Extension: ACE vs ACE+FEC on a 2% random-loss link.",
@@ -133,6 +172,9 @@ def run_scenario(name: str, seed: int = 3,
                  category: Optional[str] = None) -> list[RunResult]:
     """Run every (baseline x trace) cell of a scenario; returns results."""
     scenario = get_scenario(name)
+    if scenario.arena_mix is not None:
+        return _run_arena_scenario(scenario, seed=seed, duration=duration,
+                                   category=category)
     results: list[RunResult] = []
     for trace_label, factory in scenario.traces:
         trace = factory(seed)
@@ -151,4 +193,41 @@ def run_scenario(name: str, seed: int = 3,
                 metrics, baseline=baseline, trace=trace_label, seed=seed,
                 category=category or scenario.category,
                 scenario=scenario.name))
+    return results
+
+
+def _run_arena_scenario(scenario: Scenario, seed: int,
+                        duration: Optional[float],
+                        category: Optional[str]) -> list[RunResult]:
+    """Arena scenario: one session per (trace x discipline), per-flow
+    results tagged with the cell's Jain index and convergence time."""
+    from repro.arena import ArenaFlowSpec, ArenaSession, parse_mix
+
+    cat = category or scenario.category
+    results: list[RunResult] = []
+    for trace_label, factory in scenario.traces:
+        trace = factory(seed)
+        for discipline in scenario.disciplines:
+            config = SessionConfig(
+                duration=duration or scenario.duration,
+                seed=seed,
+                fps=scenario.fps,
+                initial_bwe_bps=6e6,
+                **scenario.config_overrides,
+            )
+            flows = [ArenaFlowSpec(**{**f, "category": cat})
+                     for f in parse_mix(scenario.arena_mix)]
+            session = ArenaSession(flows, trace, config,
+                                   discipline=discipline)
+            metrics = session.run()
+            report = metrics.fairness()
+            for fid, fm in metrics.items():
+                base = metrics.specs[fid]["baseline"]
+                results.append(RunResult.from_metrics(
+                    fm, baseline=f"{base}#{fid}@{discipline}",
+                    trace=trace_label, seed=seed, category=cat,
+                    scenario=scenario.name, mix=scenario.arena_mix,
+                    flow_id=fid, discipline=discipline,
+                    jain=report.jain_throughput,
+                    convergence_s=report.convergence_s.get(fid)))
     return results

@@ -88,6 +88,10 @@ def ineligible_reason(session: "RtcSession") -> Optional[str]:
     path = session.path
     sender = session.sender
     pacer = sender.pacer
+    from repro.net.aqm import DropTailQueue
+    if type(path.link.queue) is not DropTailQueue:
+        return ("non-default queue discipline "
+                f"{type(path.link.queue).__name__}")
     if path._lossy:
         return "random/contention loss enabled"
     if path._jitter_enabled:

@@ -18,8 +18,15 @@ def test_unknown_scenario_raises():
 
 
 def test_every_scenario_well_formed():
+    from repro.arena import parse_mix
+    from repro.net.aqm import list_disciplines
+
     for name, scenario in SCENARIOS.items():
-        assert scenario.baselines, name
+        if scenario.arena_mix is not None:
+            assert parse_mix(scenario.arena_mix), name
+            assert set(scenario.disciplines) <= set(list_disciplines()), name
+        else:
+            assert scenario.baselines, name
         assert scenario.traces, name
         assert scenario.duration > 0
         assert scenario.description
@@ -34,6 +41,19 @@ def test_run_scenario_produces_full_matrix():
     for r in results:
         assert r.frames > 60
         assert r.extra.get("scenario") == "ablation"
+
+
+def test_run_arena_scenario_emits_per_flow_results():
+    results = run_scenario("arena-rtc-rtc", seed=2, duration=4.0)
+    scenario = get_scenario("arena-rtc-rtc")
+    assert len(results) == 4                 # ace*2+webrtc-star*2, one trace
+    assert {r.baseline for r in results} == \
+        {"ace#1@droptail", "ace#2@droptail",
+         "webrtc-star#3@droptail", "webrtc-star#4@droptail"}
+    for r in results:
+        assert r.extra["mix"] == scenario.arena_mix
+        assert 0.0 < r.extra["jain"] <= 1.0
+        assert r.extra["discipline"] == "droptail"
 
 
 def test_category_override():
