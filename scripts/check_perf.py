@@ -58,16 +58,69 @@ BATCH_MACRO_BASE = "test_perf_reference_macro_step"
 DEFAULT_BATCH_MACRO_SPEEDUP = 4.0
 
 
+#: live-load gate defaults: N concurrent loopback sessions on one event
+#: loop must keep the fleet p99 pacing delay (time from a packet's
+#: pacer-release decision to its socket write) under the bound. The
+#: bound is deliberately loose — shared CI machines add scheduling
+#: noise — but catches the failure mode that matters: timer leaks or
+#: per-session O(fleet) work stacking up until pacing collapses.
+DEFAULT_LIVE_SESSIONS = 8
+DEFAULT_LIVE_DURATION = 2.0
+DEFAULT_LIVE_P99_MS = 250.0
+
+
 def load_mins(bench_json: Path) -> dict[str, float]:
     """Per-bench minimum seconds from a pytest-benchmark dump."""
     data = json.loads(bench_json.read_text())
     return {b["name"]: float(b["stats"]["min"]) for b in data["benchmarks"]}
 
 
+def check_live_load(sessions: int, duration: float, p99_ms: float) -> bool:
+    """Run the multi-session live supervisor and gate fleet pacing p99.
+
+    Returns True on pass. Runs in-process (sys.path gets src/) so the
+    gate exercises exactly the working tree under test.
+    """
+    import os
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.live.server import LoadConfig, run_load
+
+    cores = os.cpu_count() or 1
+    supervisor = run_load(LoadConfig(
+        sessions=sessions, mix=("ace",), ramp=0.0,
+        duration=duration, drain=0.3))
+    summary = supervisor.summary
+    failed = summary["failed"]
+    p99 = summary["pacing_p99_ms"]
+    ok = failed == 0 and p99 is not None and p99 <= p99_ms
+    status = "ok" if ok else "FAIL"
+    print(f"  {status:>4} live-load: {sessions} sessions "
+          f"({sessions / cores:.1f}/core), {summary['completed']} completed, "
+          f"{failed} failed; fleet pacing p99 "
+          f"{'-' if p99 is None else f'{p99:.2f} ms'} "
+          f"(limit {p99_ms:g} ms)")
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("bench_json", type=Path,
-                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("bench_json", type=Path, nargs="?", default=None,
+                        help="pytest-benchmark --benchmark-json output "
+                             "(optional with --live-load)")
+    parser.add_argument("--live-load", action="store_true", dest="live_load",
+                        help="also run the multi-session live-load gate: "
+                             "N concurrent loopback sessions on one event "
+                             "loop, fleet pacing p99 under --live-p99-ms")
+    parser.add_argument("--live-sessions", type=int,
+                        default=DEFAULT_LIVE_SESSIONS, dest="live_sessions")
+    parser.add_argument("--live-duration", type=float,
+                        default=DEFAULT_LIVE_DURATION, dest="live_duration",
+                        help="media seconds per live-load session")
+    parser.add_argument("--live-p99-ms", type=float,
+                        default=DEFAULT_LIVE_P99_MS, dest="live_p99_ms",
+                        help="fleet pacing-delay p99 bound in ms "
+                             f"(default {DEFAULT_LIVE_P99_MS:g})")
     parser.add_argument("--snapshot", type=Path, default=DEFAULT_SNAPSHOT)
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="fail when min time exceeds baseline x this "
@@ -102,6 +155,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the snapshot from bench_json and exit")
     args = parser.parse_args(argv)
+
+    live_ok = True
+    if args.live_load:
+        live_ok = check_live_load(args.live_sessions, args.live_duration,
+                                  args.live_p99_ms)
+    if args.bench_json is None:
+        if not args.live_load:
+            parser.error("need a bench_json dump and/or --live-load")
+        if live_ok:
+            print("check_perf: live-load gate passed")
+            return 0
+        print("check_perf: live-load gate failed", file=sys.stderr)
+        return 1
 
     current = load_mins(args.bench_json)
     if not current:
@@ -172,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
             if speedup < floor:
                 failures.append(tag)
 
+    if not live_ok:
+        failures.append("live-load")
     if failures:
         print(f"check_perf: {len(failures)} regression(s) beyond "
               f"{args.threshold}x: {', '.join(failures)}", file=sys.stderr)

@@ -296,6 +296,99 @@ def cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    """``repro load``: N concurrent live sessions on one event loop.
+
+    The load generator around :class:`repro.live.server.SessionSupervisor`:
+    a mixed-baseline fleet over UDP loopback with staggered joins,
+    per-session failure isolation, fleet heartbeats, and one rolled-up
+    Prometheus snapshot on ``--stats-port``. ``--soak`` stretches the
+    default duration to an hour — end it early with Ctrl-C for a
+    graceful fleet-wide drain.
+    """
+    from pathlib import Path
+
+    from repro.live.server import (
+        DEFAULT_SOAK_DURATION_S,
+        LoadConfig,
+        run_load,
+    )
+    from repro.rtc.baselines import get_spec
+
+    mix = [b.strip() for b in args.mix.split(",") if b.strip()]
+    known = set(list_baselines())
+    for name in mix:
+        if name not in known:
+            raise SystemExit(
+                f"unknown baseline {name!r} in --mix; choose from: "
+                + ", ".join(list_baselines()))
+        if get_spec(name).fec:
+            raise SystemExit(
+                f"baseline {name!r} in --mix uses FEC, which is not "
+                "encodable on the live wire format yet; pick non-FEC "
+                "baselines")
+    if not mix:
+        raise SystemExit("--mix needs at least one baseline name")
+    duration = args.duration
+    if duration is None:
+        duration = DEFAULT_SOAK_DURATION_S if args.soak else 5.0
+    config = LoadConfig(
+        sessions=args.sessions, mix=tuple(mix), ramp=args.ramp,
+        duration=duration, drain=args.drain, seed=args.seed, fps=args.fps,
+        base_rtt=args.rtt / 1000.0, random_loss_rate=args.loss,
+        queue_capacity_bytes=args.queue,
+        initial_bwe_bps=args.initial_bwe * 1e6,
+        shaped=not args.unshaped, stats_port=args.stats_port,
+        heartbeat_interval=args.heartbeat,
+    )
+    trace_factory = None
+    if args.trace is not None:
+        def trace_factory(i, _kind=args.trace, _seed=args.seed,
+                          _dur=duration + args.drain):
+            # Traces keep a monotonic cursor: one private instance per
+            # session (seed-shifted so stochastic traces decorrelate).
+            return make_trace(_kind, _seed + i, _dur + 10)
+    print(f"load: {args.sessions} sessions over UDP loopback "
+          f"({','.join(mix)} round-robin), ramp {args.ramp:g}s, "
+          f"{duration:g}s media each"
+          + (" [soak: Ctrl-C drains the fleet]" if args.soak else ""))
+    supervisor = run_load(config, trace_factory=trace_factory,
+                          run_dir=args.run_dir, echo=print)
+    if supervisor.stats_addr is not None:
+        host, port = supervisor.stats_addr
+        print(f"stats: served fleet rollup on http://{host}:{port}/")
+    if args.snapshot_out:
+        out = Path(args.snapshot_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(supervisor.rollup())
+        print(f"snapshot -> {out}")
+    summary = supervisor.summary
+    rows = []
+    for row in summary["per_session"]:
+        rows.append([
+            row["label"], row["status"],
+            "-" if row.get("frames") is None else str(row["frames"]),
+            ("-" if row.get("p95_latency_ms") is None
+             else f"{row['p95_latency_ms']:.1f}"),
+            ("-" if row["pacing_p50_ms"] is None
+             else f"{row['pacing_p50_ms']:.2f}"),
+            ("-" if row["pacing_p99_ms"] is None
+             else f"{row['pacing_p99_ms']:.2f}"),
+            row["error"] or "",
+        ])
+    print_table(
+        f"load: {summary['completed']} completed, "
+        f"{summary['failed']} failed, {summary['skipped']} skipped "
+        f"({summary['heartbeats']} heartbeats, {summary['wall_s']:.1f}s wall)",
+        ["session", "status", "frames", "p95 ms", "pace p50 ms",
+         "pace p99 ms", "error"],
+        rows)
+    p99 = summary["pacing_p99_ms"]
+    print("fleet pacing p99: "
+          + ("-" if p99 is None else f"{p99:.2f} ms"))
+    return 1 if summary["failed"] else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``repro trace``: replay a session with telemetry, print timelines.
 
@@ -711,6 +804,60 @@ def build_parser() -> argparse.ArgumentParser:
                              "log + Prometheus snapshot into DIR at "
                              "session end")
     p_live.set_defaults(func=cmd_live)
+
+    p_load = sub.add_parser(
+        "load",
+        help="run N concurrent live sessions on one event loop "
+             "(multi-session load generator / soak)")
+    p_load.add_argument("--sessions", type=int, default=4,
+                        help="number of concurrent sessions (default 4)")
+    p_load.add_argument("--mix", default="ace",
+                        help="comma-separated baselines assigned "
+                             "round-robin, e.g. ace,webrtc-star")
+    p_load.add_argument("--ramp", type=float, default=0.0,
+                        help="seconds over which session joins are "
+                             "staggered (default 0: all at once)")
+    p_load.add_argument("--duration", type=float, default=None,
+                        help="media seconds per session (default 5; "
+                             "3600 with --soak)")
+    p_load.add_argument("--soak", action="store_true",
+                        help="soak mode: hour-long default duration; "
+                             "Ctrl-C drains the whole fleet gracefully")
+    p_load.add_argument("--drain", type=float, default=0.5,
+                        help="post-stop settle seconds per session")
+    p_load.add_argument("--trace", default=None,
+                        help="per-session trace class (wifi|4g|5g|campus|"
+                             "const:<mbps>|weak:<venue>, seed-shifted per "
+                             "session); default: constant 20 Mbps")
+    p_load.add_argument("--unshaped", action="store_true",
+                        help="skip trace shaping (delay/loss still apply)")
+    p_load.add_argument("--seed", type=int, default=1,
+                        help="base seed (session i uses seed+i)")
+    p_load.add_argument("--fps", type=float, default=30.0)
+    p_load.add_argument("--rtt", type=float, default=30.0,
+                        help="emulated base RTT in ms")
+    p_load.add_argument("--loss", type=float, default=0.0,
+                        help="emulated random loss rate (0..1)")
+    p_load.add_argument("--queue", type=int, default=100_000,
+                        help="emulated bottleneck queue in bytes")
+    p_load.add_argument("--initial-bwe", type=float, default=4.0,
+                        dest="initial_bwe", help="initial BWE in Mbps")
+    p_load.add_argument("--stats-port", type=int, default=None,
+                        dest="stats_port", metavar="PORT",
+                        help="serve one rolled-up Prometheus snapshot "
+                             "(session=\"<label>\" series per session) on "
+                             "this loopback port (0 = ephemeral)")
+    p_load.add_argument("--heartbeat", type=float, default=1.0,
+                        help="fleet heartbeat interval in seconds "
+                             "(0 disables)")
+    p_load.add_argument("--run-dir", default=None, dest="run_dir",
+                        metavar="DIR",
+                        help="stream fleet heartbeats to DIR/live.jsonl "
+                             "and write DIR/summary.json")
+    p_load.add_argument("--snapshot-out", default=None, dest="snapshot_out",
+                        metavar="FILE",
+                        help="write the final Prometheus rollup to FILE")
+    p_load.set_defaults(func=cmd_load)
 
     p_tr = sub.add_parser(
         "trace",

@@ -14,11 +14,16 @@ sockets, real asyncio timers, real scheduling jitter. It provides:
 * :mod:`repro.live.impairment` — the in-process bottleneck shim that
   substitutes for Mahimahi/netem on the loopback path;
 * :mod:`repro.live.session` — :class:`LiveSession` /
-  :func:`build_live_session` / :func:`run_live`.
+  :func:`build_live_session` / :func:`run_live`;
+* :mod:`repro.live.server` — :class:`SessionSupervisor` /
+  :func:`run_load`: N concurrent sessions on one event loop with
+  sharded telemetry, failure isolation, and graceful drain;
+* :mod:`repro.live.stats` — the shared loopback HTTP snapshot endpoint.
 
-``LiveSession`` and friends are re-exported lazily: the transport/clock
-modules are imported by the core rtc stack, and an eager import of
-:mod:`repro.live.session` from here would cycle back into it.
+``LiveSession``/``SessionSupervisor`` and friends are re-exported
+lazily: the transport/clock modules are imported by the core rtc stack,
+and an eager import of :mod:`repro.live.session` from here would cycle
+back into it.
 """
 
 from __future__ import annotations
@@ -32,13 +37,22 @@ __all__ = [
     "ImpairmentConfig", "LoopbackImpairment",
     "SimTransport", "Transport", "UdpTransport",
     "LiveConfig", "LiveSession", "build_live_session", "run_live",
+    "LoadConfig", "SessionRecord", "SessionSpec", "SessionSupervisor",
+    "build_load_specs", "run_load", "run_load_async",
 ]
 
-_LAZY = {"LiveConfig", "LiveSession", "build_live_session", "run_live"}
+_LAZY_SESSION = {"LiveConfig", "LiveSession", "build_live_session",
+                 "run_live"}
+_LAZY_SERVER = {"LoadConfig", "SessionRecord", "SessionSpec",
+                "SessionSupervisor", "build_load_specs", "run_load",
+                "run_load_async"}
 
 
 def __getattr__(name: str):
-    if name in _LAZY:
+    if name in _LAZY_SESSION:
         from repro.live import session
         return getattr(session, name)
+    if name in _LAZY_SERVER:
+        from repro.live import server
+        return getattr(server, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -128,7 +128,21 @@ class WallClock:
     __slots__ = ("_aloop", "_origin")
 
     def __init__(self, aloop: Optional[asyncio.AbstractEventLoop] = None) -> None:
-        self._aloop = aloop if aloop is not None else asyncio.get_event_loop()
+        if aloop is None:
+            # get_event_loop() is deprecated off-loop since 3.10 and
+            # would silently hand back the wrong loop (or a fresh,
+            # never-run one) when constructed outside a coroutine —
+            # timers scheduled on it would simply never fire. Demand a
+            # running loop, loudly.
+            try:
+                aloop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise RuntimeError(
+                    "WallClock needs a running asyncio event loop: "
+                    "construct it inside a coroutine (e.g. under "
+                    "asyncio.run), or pass the target loop explicitly "
+                    "as WallClock(aloop=...)") from None
+        self._aloop = aloop
         self._origin = self._aloop.time()
 
     @property
@@ -151,5 +165,23 @@ class WallClock:
         return WallTimer(when, name, handle)
 
     async def sleep(self, delay: float) -> None:
-        """Driver-side wait (components use call_later, never this)."""
-        await asyncio.sleep(delay)
+        """Driver-side wait (components use call_later, never this).
+
+        Waits on ``self._aloop``'s timebase — the loop the clock's
+        timers run on — not whichever loop happens to be running. If
+        the awaiting coroutine runs on a different loop than the clock,
+        awaiting the foreign-loop future fails loudly instead of
+        silently sleeping against an unrelated timebase.
+        """
+        waiter = self._aloop.create_future()
+        handle = self._aloop.call_later(
+            delay if delay > 0 else 0.0, self._resolve, waiter)
+        try:
+            await waiter
+        finally:
+            handle.cancel()
+
+    @staticmethod
+    def _resolve(waiter: "asyncio.Future") -> None:
+        if not waiter.done():
+            waiter.set_result(None)

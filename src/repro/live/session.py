@@ -74,6 +74,14 @@ class LiveConfig:
     #: while the session runs (``repro live --stats-port``; 0 = pick an
     #: ephemeral port, exposed as ``session.stats_addr``).
     stats_port: Optional[int] = None
+    #: keep the full telemetry event log. The multi-session supervisor
+    #: turns this off so soak-scale fleets keep only the metric registry
+    #: and the bounded flight ring per session.
+    keep_telemetry_events: bool = True
+    #: shrink the pacer's per-packet sample rings to this many entries
+    #: (None = the pacer default); set per session by the supervisor so
+    #: fleet memory is sessions x cap.
+    pacer_stats_cap: Optional[int] = None
 
 
 class LiveSession:
@@ -98,6 +106,8 @@ class LiveSession:
         self._ace_n_config = ace_n_config
         self._ace_c_config = ace_c_config
         self._finished = False
+        self._stop_requested = False
+        self._stop_waiter = None
         # Populated by run():
         self.clock: Optional[WallClock] = None
         self.sender: Optional[Sender] = None
@@ -160,10 +170,14 @@ class LiveSession:
             sender_cfg, codec, config.fps, config.initial_bwe_bps,
             ace_n_config=self._ace_n_config, ace_c_config=self._ace_c_config)
 
+        if config.pacer_stats_cap is not None:
+            pacer.stats.rebound(config.pacer_stats_cap)
+
         telemetry = None
         if config.telemetry or config.stats_port is not None:
             from repro.obs import Telemetry, instrument_stack
-            telemetry = self.telemetry = Telemetry(clock)
+            telemetry = self.telemetry = Telemetry(
+                clock, keep_events=config.keep_telemetry_events)
             # No Link in live mode — the impairment shim is the bottleneck.
             instrument_stack(telemetry, pacer=pacer, cc=cc, ace_n=ace_n)
 
@@ -202,21 +216,33 @@ class LiveSession:
             ).attach_polling(config.audit_interval_s)
 
         stats_server = None
-        if config.stats_port is not None:
-            stats_server = await self._start_stats_server(config.stats_port)
-        if telemetry is not None:
-            telemetry.start_tick()
-
-        sender.start()
-        receiver.start()
+        media_elapsed = config.duration
         try:
-            await clock.sleep(config.duration)
+            # From here on every failure (a busy stats port included)
+            # runs the teardown below — the endpoints are already open.
+            if config.stats_port is not None:
+                stats_server = await self._start_stats_server(
+                    config.stats_port)
+            if telemetry is not None:
+                telemetry.start_tick()
+            sender.start()
+            receiver.start()
+            await self._wait_or_stop(clock, config.duration)
+            media_elapsed = min(clock.now, config.duration)
             sender.stop()
             # Let in-flight packets and feedback land.
             await clock.sleep(config.drain)
         finally:
             if telemetry is not None:
                 telemetry.stop_tick()
+            # Teardown must leave *nothing* scheduled on the event loop:
+            # the feedback tick and the pacer pump otherwise reschedule
+            # themselves forever, and close() cancels the transports'
+            # delayed sends — a per-session timer leak under a
+            # multi-session supervisor.
+            sender.stop()
+            receiver.stop()
+            pacer.cancel_pump()
             if stats_server is not None:
                 stats_server.close()
                 await stats_server.wait_closed()
@@ -226,44 +252,50 @@ class LiveSession:
         self._finished = True
         if self.auditor is not None:
             self.auditor.finalize()
-        return self._collect(send_end)
+        return self._collect(send_end, duration=media_elapsed)
+
+    # ------------------------------------------------------------------
+    # early stop
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask a running session to wind down early (graceful: the
+        sender stops, then the normal drain window runs). Safe to call
+        before or after ``run()`` starts; idempotent."""
+        self._stop_requested = True
+        waiter = self._stop_waiter
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+    async def _wait_or_stop(self, clock: WallClock, duration: float) -> None:
+        """Wait out the media phase, or return early on request_stop()."""
+        if self._stop_requested:
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        self._stop_waiter = waiter
+        handle = clock.call_later(
+            duration, lambda: None if waiter.done()
+            else waiter.set_result(None), "live.duration")
+        try:
+            await waiter
+        finally:
+            handle.cancel()
+            self._stop_waiter = None
 
     async def _start_stats_server(self, port: int):
-        """Serve Prometheus text snapshots over HTTP on loopback.
-
-        Minimal single-purpose endpoint (any path returns the snapshot)
-        so ``curl localhost:PORT`` and a scraping Prometheus both work
-        without an HTTP framework dependency.
-        """
+        """Serve Prometheus snapshots over HTTP while the session runs."""
+        from repro.live.stats import start_stats_server, stats_addr
         from repro.obs import prometheus_snapshot
 
-        async def handle(reader, writer):
-            try:
-                # Drain the request line and headers; the reply is the
-                # same snapshot regardless of what was asked for.
-                while True:
-                    line = await reader.readline()
-                    if line in (b"\r\n", b"\n", b""):
-                        break
-                body = prometheus_snapshot(self.telemetry.registry).encode()
-                writer.write(
-                    b"HTTP/1.1 200 OK\r\n"
-                    b"Content-Type: text/plain; version=0.0.4\r\n"
-                    b"Content-Length: " + str(len(body)).encode() + b"\r\n"
-                    b"Connection: close\r\n\r\n" + body)
-                await writer.drain()
-            except (ConnectionError, asyncio.IncompleteReadError):
-                pass
-            finally:
-                writer.close()
-
-        server = await asyncio.start_server(handle, "127.0.0.1", port)
-        self.stats_addr = server.sockets[0].getsockname()
+        server = await start_stats_server(
+            port, lambda: prometheus_snapshot(self.telemetry.registry))
+        self.stats_addr = stats_addr(server)
         return server
 
-    def _collect(self, send_end: UdpTransport) -> SessionMetrics:
+    def _collect(self, send_end: UdpTransport,
+                 duration: Optional[float] = None) -> SessionMetrics:
         sender = self.sender
-        metrics = SessionMetrics(duration=self.config.duration)
+        metrics = SessionMetrics(
+            duration=self.config.duration if duration is None else duration)
         metrics.frames = [sender.frame_metrics[fid]
                           for fid in sorted(sender.frame_metrics)]
         metrics.packets_sent = sender.pacer.stats.sent_packets

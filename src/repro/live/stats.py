@@ -1,0 +1,69 @@
+"""Minimal loopback HTTP endpoint for Prometheus text snapshots.
+
+One deliberately tiny handler shared by the single-session runtime
+(``repro live --stats-port``) and the multi-session supervisor
+(``repro load --stats-port``): any request path returns the current
+snapshot, so ``curl localhost:PORT`` and a scraping Prometheus both
+work without an HTTP framework dependency.
+
+Two teardown details live here so every caller gets them right:
+
+* the handler awaits ``writer.wait_closed()`` after ``close()`` — a
+  scrape racing session teardown otherwise leaves a half-closed
+  connection for the event loop to warn about;
+* binding a busy port fails *at startup* with a clear message instead
+  of surfacing as an unhandled ``OSError`` mid-session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Tuple
+
+
+async def start_stats_server(port: int, body_fn: Callable[[], str],
+                             host: str = "127.0.0.1") -> asyncio.AbstractServer:
+    """Serve ``body_fn()`` as a text/plain snapshot on ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back via
+    :func:`stats_addr`). Raises ``RuntimeError`` with an actionable
+    message when the port is already taken.
+    """
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            # Drain the request line and headers; the reply is the same
+            # snapshot regardless of what was asked for.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            body = body_fn().encode()
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        return await asyncio.start_server(handle, host, port)
+    except OSError as exc:
+        raise RuntimeError(
+            f"stats port {host}:{port} is unavailable ({exc.strerror or exc});"
+            " pick a free port, or pass --stats-port 0 to bind an ephemeral"
+            " one (the chosen address is reported as stats_addr)") from exc
+
+
+def stats_addr(server: asyncio.AbstractServer) -> Tuple[str, int]:
+    """``(host, port)`` the server actually bound (resolves port 0)."""
+    return server.sockets[0].getsockname()[:2]

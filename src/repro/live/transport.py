@@ -150,6 +150,9 @@ class UdpTransport(Transport):
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._peer: Optional[Tuple[str, int]] = None
         self._closed = False
+        #: impairment-delayed send timers still pending; cancelled on
+        #: close so a finished session leaves nothing on the event loop.
+        self._pending_sends: set = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -178,8 +181,16 @@ class UdpTransport(Transport):
 
     def close(self) -> None:
         self._closed = True
+        for handle in self._pending_sends:
+            handle.cancel()
+        self._pending_sends.clear()
         if self._transport is not None:
             self._transport.close()
+
+    @property
+    def pending_timers(self) -> int:
+        """Delayed send timers still scheduled (0 after ``close()``)."""
+        return len(self._pending_sends)
 
     # ------------------------------------------------------------------
     # sending
@@ -200,8 +211,7 @@ class UdpTransport(Transport):
         if delay <= 0:
             self._sendto(data)
         else:
-            self.clock.call_later(delay, lambda d=data: self._sendto(d),
-                                  "live.media")
+            self._sendto_later(delay, data, "live.media")
 
     def send_feedback(self, message: object) -> None:
         """Emit a feedback message after the reverse propagation delay."""
@@ -211,8 +221,17 @@ class UdpTransport(Transport):
             if delay <= 0:
                 self._sendto(data)
             else:
-                self.clock.call_later(delay, lambda d=data: self._sendto(d),
-                                      "live.feedback")
+                self._sendto_later(delay, data, "live.feedback")
+
+    def _sendto_later(self, delay: float, data: bytes, name: str) -> None:
+        """Schedule a tracked delayed send; the handle unregisters on fire."""
+        handle = self.clock.call_later(
+            delay, lambda: self._fire_delayed(handle, data), name)
+        self._pending_sends.add(handle)
+
+    def _fire_delayed(self, handle, data: bytes) -> None:
+        self._pending_sends.discard(handle)
+        self._sendto(data)
 
     def _sendto(self, data: bytes) -> None:
         if self._closed or self._transport is None or self._peer is None:

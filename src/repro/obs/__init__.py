@@ -35,6 +35,7 @@ from repro.obs.attrib import (
 )
 from repro.obs.fleet import (
     FleetObserver,
+    LiveFleetLog,
     build_manifest,
     diff_runs,
     load_run,
@@ -46,6 +47,7 @@ from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
 from repro.obs.spans import SPAN_STAGES, FrameSpan, SpanBook
 from repro.obs.export import (
     filter_records,
+    prometheus_rollup,
     prometheus_snapshot,
     render_record,
     render_span_timeline,
@@ -65,6 +67,7 @@ __all__ = [
     "FrameSpan",
     "Gauge",
     "Histogram",
+    "LiveFleetLog",
     "LoopProfiler",
     "MetricRegistry",
     "ProfileEntry",
@@ -82,6 +85,7 @@ __all__ = [
     "instrument_arena",
     "instrument_stack",
     "load_run",
+    "prometheus_rollup",
     "prometheus_snapshot",
     "render_frame_blame",
     "render_record",

@@ -120,6 +120,73 @@ def prometheus_snapshot(registry: "MetricRegistry") -> str:
     return "\n".join(lines) + "\n"
 
 
+def prometheus_rollup(shards, label: str = "session") -> str:
+    """One Prometheus snapshot over many per-session registries.
+
+    ``shards`` maps a shard name (e.g. ``"s3-ace"``) to its
+    :class:`~repro.obs.registry.MetricRegistry`. Each metric family is
+    rendered once — HELP/TYPE header, then one sample line per shard
+    carrying ``{label="<shard>"}`` merged into the instrument's own
+    labels — so a fleet of N sessions scrapes as one page with
+    per-session series, exactly how a multi-tenant exporter labels
+    tenants. Ordering is fully deterministic (families sorted by name,
+    shards sorted by key), matching :func:`prometheus_snapshot`.
+    """
+    shards = dict(shards)
+    keys = sorted(shards)
+    lines: list[str] = []
+
+    def families(attr: str) -> list[str]:
+        return sorted({name for reg in shards.values()
+                       for name in getattr(reg, attr)})
+
+    def help_for(attr: str, name: str) -> str:
+        for key in keys:
+            inst = getattr(shards[key], attr).get(name)
+            if inst is not None and inst.help:
+                return inst.help
+        return ""
+
+    for name in families("counters"):
+        prom = _prom_name(name) + "_total"
+        _header(lines, prom, "counter", help_for("counters", name))
+        for key in keys:
+            counter = shards[key].counters.get(name)
+            if counter is None:
+                continue
+            lines.append(f"{prom}{_labels_str(counter.labels, {label: key})} "
+                         f"{_prom_value(counter.value)}")
+    for name in families("gauges"):
+        samples = []
+        for key in keys:
+            gauge = shards[key].gauges.get(name)
+            if gauge is None or gauge.value is None:
+                continue
+            samples.append((key, gauge))
+        if not samples:
+            continue
+        prom = _prom_name(name)
+        _header(lines, prom, "gauge", help_for("gauges", name))
+        for key, gauge in samples:
+            lines.append(f"{prom}{_labels_str(gauge.labels, {label: key})} "
+                         f"{_prom_value(gauge.value)}")
+    for name in families("histograms"):
+        prom = _prom_name(name)
+        _header(lines, prom, "histogram", help_for("histograms", name))
+        for key in keys:
+            hist = shards[key].histograms.get(name)
+            if hist is None:
+                continue
+            for bound, cumulative in hist.cumulative():
+                le = "+Inf" if bound == math.inf else repr(float(bound))
+                labels = _labels_str(hist.labels, {label: key, "le": le})
+                lines.append(f"{prom}_bucket{labels} {cumulative}")
+            base = _labels_str(hist.labels, {label: key})
+            lines.append(f"{prom}_sum{base} {_prom_value(hist.sum)}")
+            lines.append(f"{prom}_count{base} {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
 def write_snapshot(telemetry: "Telemetry", path) -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

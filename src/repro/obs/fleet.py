@@ -248,6 +248,62 @@ class FleetObserver:
         return path
 
 
+class LiveFleetLog:
+    """Streaming observability for a *live* multi-session run.
+
+    The grid :class:`FleetObserver` streams one record per completed
+    cell; a live supervisor's unit of progress is the heartbeat —
+    per-session liveness and pacing-latency percentiles sampled on a
+    wall-clock interval. Same conventions, different cadence: one JSONL
+    record per event in ``live.jsonl`` (``kind`` discriminates), a
+    final ``summary.json``, and an ``echo`` callback for interactive
+    output. ``run_dir=None`` keeps everything in memory (echo only).
+    """
+
+    def __init__(self, run_dir: Optional[str | Path] = None, *,
+                 echo: Optional[Callable[[str], None]] = None) -> None:
+        self.echo = echo
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.heartbeats = 0
+        self._started = time.monotonic()
+        self._log_path: Optional[Path] = None
+        if self.run_dir is not None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            self._log_path = self.run_dir / "live.jsonl"
+            self._log_path.write_text("")  # truncate: one run, one log
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def append(self, record: dict) -> None:
+        if self._log_path is not None:
+            with self._log_path.open("a") as fh:
+                fh.write(json.dumps(record, separators=(",", ":"),
+                                    sort_keys=True) + "\n")
+
+    def heartbeat(self, record: dict,
+                  line: Optional[str] = None) -> dict:
+        """Append one heartbeat record; echo ``line`` when interactive."""
+        self.heartbeats += 1
+        record = {"kind": "heartbeat",
+                  "elapsed_s": round(self.elapsed_s, 6), **record}
+        self.append(record)
+        if self.echo is not None and line is not None:
+            self.echo(line)
+        return record
+
+    def finalize(self, summary: dict) -> dict:
+        """Write ``summary.json`` (when a run dir exists); returns it."""
+        summary = {"kind": "live-run",
+                   "wall_s": round(self.elapsed_s, 6),
+                   "heartbeats": self.heartbeats, **summary}
+        if self.run_dir is not None:
+            (self.run_dir / "summary.json").write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        return summary
+
+
 # ----------------------------------------------------------------------
 # loading and reporting run directories
 # ----------------------------------------------------------------------

@@ -20,18 +20,45 @@ if TYPE_CHECKING:
     from repro.live.clock import Clock, ScheduledCall
 
 
+#: bound on the per-packet sample rings in :class:`PacerStats`. Generous
+#: enough that every sim session in the test/bench suite keeps full
+#: fidelity (a 20 s session at 20 Mbps releases ~42k packets, under the
+#: cap — so sim metrics and golden fingerprints are untouched), small
+#: enough that a wall-clock soak run's memory stays flat instead of
+#: growing ~100 B per packet forever. Long-running many-session load
+#: runs shrink it further per session via :meth:`PacerStats.rebound`.
+DEFAULT_SAMPLE_CAP = 65_536
+
+
 @dataclass(slots=True)
 class PacerStats:
-    """Counters the metrics layer reads off the pacer."""
+    """Counters the metrics layer reads off the pacer.
+
+    The two sample sequences are bounded rings (oldest samples rotate
+    out past :data:`DEFAULT_SAMPLE_CAP`): scalar counters are exact
+    forever, per-packet samples keep a recent window — which is also
+    exactly what live-mode percentile reporting wants.
+    """
 
     enqueued_packets: int = 0
     sent_packets: int = 0
     enqueued_bytes: int = 0
     sent_bytes: int = 0
-    #: (time, queued_bytes) samples on every enqueue/send.
-    occupancy_samples: list[tuple[float, int]] = field(default_factory=list)
-    #: per-packet pacing delays (seconds).
-    pacing_delays: list[float] = field(default_factory=list)
+    #: (time, queued_bytes) samples on every enqueue/send (bounded ring).
+    occupancy_samples: Deque[tuple[float, int]] = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_SAMPLE_CAP))
+    #: per-packet pacing delays in seconds (bounded ring).
+    pacing_delays: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_SAMPLE_CAP))
+
+    def rebound(self, cap: int) -> None:
+        """Shrink (or grow) the sample rings to hold ``cap`` entries.
+
+        Keeps the newest samples. Many-session soak runs call this per
+        session so fleet memory is ``sessions * cap``, not unbounded.
+        """
+        self.occupancy_samples = deque(self.occupancy_samples, maxlen=cap)
+        self.pacing_delays = deque(self.pacing_delays, maxlen=cap)
 
 
 class Pacer(abc.ABC):
@@ -150,6 +177,18 @@ class Pacer(abc.ABC):
     #: floor on positive pump delays — waits shorter than a microsecond
     #: cannot reliably advance the float clock and would spin the loop.
     MIN_PUMP_DELAY_S = 1e-6
+
+    def cancel_pump(self) -> None:
+        """Cancel any pending pump timer (live-session teardown).
+
+        A non-empty pacer otherwise keeps rescheduling its pump forever
+        on a wall clock — harmless when ``asyncio.run`` exits right
+        after a single session, a timer leak under a long-running
+        multi-session supervisor. Never called on the sim path.
+        """
+        if self._pump_event is not None:
+            self._pump_event.cancel()
+            self._pump_event = None
 
     def _schedule_pump(self, delay: float) -> None:
         if delay > 0:

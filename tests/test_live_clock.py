@@ -173,6 +173,47 @@ def test_wall_timer_repr_carries_name():
 
 
 # ---------------------------------------------------------------------------
+# wall clock loop acquisition (regression: the old implicit fallback
+# went through deprecated asyncio.get_event_loop())
+# ---------------------------------------------------------------------------
+def test_wall_clock_default_loop_inside_coroutine():
+    """WallClock() with no explicit loop binds the *running* loop."""
+
+    async def check():
+        clock = WallClock()
+        fired = []
+        clock.call_later(0.02, lambda: fired.append(clock.now))
+        await clock.sleep(0.1)
+        assert fired and fired[0] >= 0.015
+
+    asyncio.run(check())
+
+
+def test_wall_clock_off_loop_construction_raises_clearly():
+    """Constructing a WallClock outside a running loop must fail with an
+    actionable message, not fall back to a deprecated implicit loop."""
+    with pytest.raises(RuntimeError, match="running asyncio event loop"):
+        WallClock()
+
+
+def test_wall_clock_sleep_uses_own_loop_timebase():
+    """sleep() must schedule on the clock's bound loop, not whatever
+    loop asyncio considers current at call time."""
+
+    async def check():
+        aloop = asyncio.get_running_loop()
+        clock = WallClock(aloop)
+        before = clock.now
+        await clock.sleep(0.05)
+        assert clock.now - before >= 0.045
+        # Zero/negative delays complete promptly instead of hanging.
+        await asyncio.wait_for(clock.sleep(0.0), timeout=1.0)
+        await asyncio.wait_for(clock.sleep(-1.0), timeout=1.0)
+
+    asyncio.run(check())
+
+
+# ---------------------------------------------------------------------------
 # sim clock call_at rejects the past (documented divergence)
 # ---------------------------------------------------------------------------
 def test_sim_clock_call_at_raises_on_past():

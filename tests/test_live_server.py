@@ -1,0 +1,226 @@
+"""Multi-session supervisor tests: fleets of live loopback sessions.
+
+Real sockets and wall clocks, so fleets are small (3-4 sessions, ~1 s)
+and assertions coarse — completion, isolation, labels — while the
+deterministic behaviour (rollup rendering, spec expansion, percentiles)
+is tested without any I/O.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.live.server import (
+    LoadConfig,
+    SessionSpec,
+    SessionSupervisor,
+    build_load_specs,
+    percentiles,
+    run_load,
+)
+from repro.obs import MetricRegistry, prometheus_rollup
+
+
+# ---------------------------------------------------------------------------
+# deterministic pieces (no sockets)
+# ---------------------------------------------------------------------------
+def test_build_load_specs_round_robin_and_seeds():
+    specs = build_load_specs(LoadConfig(
+        sessions=5, mix=("ace", "webrtc-star"), seed=10, duration=2.0))
+    assert [s.baseline for s in specs] == \
+        ["ace", "webrtc-star", "ace", "webrtc-star", "ace"]
+    assert [s.label for s in specs] == \
+        ["s0-ace", "s1-webrtc-star", "s2-ace", "s3-webrtc-star", "s4-ace"]
+    assert [s.config.seed for s in specs] == [10, 11, 12, 13, 14]
+    # Traces keep a stateful cursor: every session gets a private one.
+    traces = [s.trace for s in specs]
+    assert len({id(t) for t in traces}) == len(traces)
+    # Supervisor-managed sessions never keep full event logs and run
+    # with bounded sample rings.
+    assert all(not s.config.keep_telemetry_events for s in specs)
+    assert all(s.config.pacer_stats_cap is not None for s in specs)
+
+
+def test_percentiles_nearest_rank():
+    assert percentiles([], (50, 99)) == (None, None)
+    values = list(range(100))
+    p50, p99 = percentiles(values, (50, 99))
+    assert p50 == 50 and p99 == 98
+    assert percentiles([7.0], (50, 99)) == (7.0, 7.0)
+
+
+def test_prometheus_rollup_labels_every_shard():
+    a, b = MetricRegistry(), MetricRegistry()
+    a.counter("x.sent", help="sent things").inc(3)
+    b.counter("x.sent").inc(5)
+    a.gauge("x.level").set(1.5)
+    b.histogram("x.delay", buckets=(0.1, 1.0)).observe(0.05)
+    text = prometheus_rollup({"s0": a, "s1": b})
+    assert '# HELP repro_x_sent_total sent things' in text
+    assert 'repro_x_sent_total{session="s0"} 3.0' in text
+    assert 'repro_x_sent_total{session="s1"} 5.0' in text
+    # Gauge only sampled in one shard: one series, no phantom zeros.
+    assert 'repro_x_level{session="s0"} 1.5' in text
+    assert 'session="s1"} 1.5' not in text
+    assert 'repro_x_delay_bucket{le="0.1",session="s1"} 1' in text
+    # Headers render once per family even with two shards.
+    assert text.count("# TYPE repro_x_sent_total counter") == 1
+
+
+def test_prometheus_rollup_is_deterministic():
+    def build():
+        regs = {}
+        for key in ("s2", "s0", "s1"):
+            reg = MetricRegistry()
+            reg.counter("c.n").inc(int(key[1]))
+            regs[key] = reg
+        return regs
+
+    assert prometheus_rollup(build()) == prometheus_rollup(build())
+
+
+# ---------------------------------------------------------------------------
+# fleets over real loopback sockets (~1 s wall each)
+# ---------------------------------------------------------------------------
+def quick_load(**kwargs) -> LoadConfig:
+    defaults = dict(sessions=3, mix=("ace", "webrtc-star"), duration=0.8,
+                    drain=0.2, seed=3, heartbeat_interval=0.3)
+    defaults.update(kwargs)
+    return LoadConfig(**defaults)
+
+
+def test_supervisor_runs_mixed_fleet_to_completion(tmp_path):
+    lines = []
+    supervisor = run_load(quick_load(ramp=0.3), echo=lines.append,
+                          run_dir=str(tmp_path))
+    records = supervisor.records
+    assert [r.status for r in records] == ["completed"] * 3
+    assert all(r.metrics is not None and r.metrics.frames for r in records)
+    # All sessions shared one loop but produced isolated metrics.
+    assert len({id(r.session) for r in records}) == 3
+    summary = supervisor.summary
+    assert summary["completed"] == 3 and summary["failed"] == 0
+    assert {row["label"] for row in summary["per_session"]} == \
+        {"s0-ace", "s1-webrtc-star", "s2-ace"}
+    # Heartbeats streamed to the run dir and echoed.
+    beats = [json.loads(line)
+             for line in (tmp_path / "live.jsonl").read_text().splitlines()
+             if json.loads(line)["kind"] == "heartbeat"]
+    assert beats and lines
+    assert all("sessions" in b for b in beats)
+    assert json.loads((tmp_path / "summary.json").read_text())["kind"] == \
+        "live-run"
+
+
+def _run_supervisor(supervisor):
+    async def go():
+        return await supervisor.run()
+
+    return asyncio.run(go())
+
+
+def test_supervisor_isolated_crash_fleet_survives():
+    from repro.live.server import _default_factory
+
+    def factory(spec: SessionSpec):
+        if spec.label.startswith("s1"):
+            raise RuntimeError("injected setup crash")
+        return _default_factory(spec)
+
+    supervisor = SessionSupervisor(build_load_specs(quick_load()),
+                                   session_factory=factory)
+    records = _run_supervisor(supervisor)
+    statuses = {r.spec.label: r.status for r in records}
+    assert statuses["s1-webrtc-star"] == "failed"
+    assert statuses["s0-ace"] == "completed"
+    assert statuses["s2-ace"] == "completed"
+    failed = next(r for r in records if r.status == "failed")
+    assert "injected setup crash" in failed.error
+    assert supervisor.summary["failed"] == 1
+    assert supervisor.summary["completed"] == 2
+    # The crash is visible in the fleet shard of the rollup.
+    assert 'repro_live_sessions_failed_total{session="fleet"} 1.0' in \
+        supervisor.rollup()
+
+
+def test_supervisor_rollup_scrapes_with_per_session_labels():
+    """The stats endpoint serves one snapshot with session="..." series
+    for every live shard plus the supervisor's fleet shard."""
+    config = quick_load(sessions=2, duration=1.0, stats_port=0)
+    supervisor = SessionSupervisor(build_load_specs(config),
+                                   stats_port=0,
+                                   heartbeat_interval=0.3)
+
+    async def run_and_scrape():
+        task = asyncio.ensure_future(supervisor.run())
+        while supervisor.stats_addr is None:
+            if task.done():
+                task.result()
+            await asyncio.sleep(0.02)
+        host, port = supervisor.stats_addr
+        text = ""
+        while not task.done():
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                text = (await reader.read()).decode()
+                writer.close()
+            except OSError:
+                break
+            if 'session="s0-ace"' in text and \
+                    'session="s1-webrtc-star"' in text:
+                break
+            await asyncio.sleep(0.05)
+        await task
+        return text
+
+    text = asyncio.run(run_and_scrape())
+    assert "200 OK" in text
+    assert 'session="s0-ace"' in text
+    assert 'session="s1-webrtc-star"' in text
+    assert 'repro_live_sessions_running{session="fleet"}' in text
+
+
+def test_supervisor_graceful_stop_drains_fleet():
+    """request_stop() mid-run: started sessions drain and complete,
+    ramp-pending sessions are skipped — the SIGINT path."""
+    config = quick_load(sessions=3, mix=("ace",), duration=30.0,
+                        ramp=60.0)  # s1/s2 wait far into the ramp
+    supervisor = SessionSupervisor(build_load_specs(config),
+                                   ramp=config.ramp,
+                                   heartbeat_interval=0.3)
+
+    async def go():
+        task = asyncio.ensure_future(supervisor.run())
+        await asyncio.sleep(0.8)
+        supervisor.request_stop()
+        return await asyncio.wait_for(task, timeout=10.0)
+
+    records = asyncio.run(go())
+    statuses = [r.status for r in records]
+    assert statuses[0] == "completed"  # drained early, still clean
+    assert statuses[1:] == ["skipped", "skipped"]
+    assert records[0].metrics is not None
+    assert records[0].metrics.duration < 5.0
+
+
+def test_supervisor_busy_stats_port_fails_clearly():
+    async def go():
+        blocker = await asyncio.start_server(
+            lambda r, w: None, "127.0.0.1", 0)
+        port = blocker.sockets[0].getsockname()[1]
+        supervisor = SessionSupervisor(
+            build_load_specs(quick_load(sessions=1, duration=0.3)),
+            stats_port=port)
+        try:
+            with pytest.raises(RuntimeError, match="stats port"):
+                await supervisor.run()
+        finally:
+            blocker.close()
+            await blocker.wait_closed()
+
+    asyncio.run(go())

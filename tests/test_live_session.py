@@ -114,6 +114,36 @@ def test_udp_transport_delivers_media_and_feedback():
     asyncio.run(check())
 
 
+def test_udp_transport_close_cancels_delayed_sends():
+    """Regression: impairment-delayed datagrams left clock.call_later
+    timers pending after close(), firing into a closed endpoint — a
+    timer leak per session under a multi-session supervisor."""
+
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        # 1 Mbps shaping: a packet burst queues several delayed sends.
+        shim = LoopbackImpairment(
+            ImpairmentConfig(base_rtt=0.2),
+            trace=BandwidthTrace.constant(1e6, duration=60.0))
+        a = await UdpTransport.create(clock, impairment=shim)
+        b = await UdpTransport.create(clock)
+        a.connect(b.local_addr)
+        b.connect(a.local_addr)
+        arrived = []
+        b.on_arrival = arrived.append
+        for seq in range(5):
+            a.send(Packet(size_bytes=1200, seq=seq))
+        assert a.pending_timers > 0
+        a.close()
+        assert a.pending_timers == 0
+        # The cancelled timers must never fire a send.
+        await asyncio.sleep(0.3)
+        b.close()
+        assert arrived == []
+
+    asyncio.run(check())
+
+
 def test_udp_transport_impairment_drops_are_recorded():
     async def check():
         clock = WallClock(asyncio.get_running_loop())
@@ -201,6 +231,68 @@ def test_live_session_cannot_run_twice():
     asyncio.run(session.run())
     with pytest.raises(RuntimeError):
         asyncio.run(session.run())
+
+
+def test_live_session_teardown_leaves_nothing_scheduled():
+    """After run() returns, no session timer may still be pending on the
+    loop: the feedback tick and the pacer pump used to reschedule
+    themselves forever, and delayed sends outlived close()."""
+
+    async def check():
+        session = build_live_session(
+            "ace", short_config(duration=0.5, drain=0.2),
+            trace=BandwidthTrace.constant(20e6, duration=12.0))
+        await session.run()
+        assert session.receiver._feedback_handle is None or \
+            session.receiver._stopped
+        assert session.sender.pacer._pump_event is None
+        # Nothing fires after the session is done: an empty loop
+        # iteration right after run() sees no stray session callbacks.
+        released_before = session.sender.pacer.stats.sent_packets
+        await asyncio.sleep(0.3)
+        assert session.sender.pacer.stats.sent_packets == released_before
+
+    asyncio.run(check())
+
+
+def test_live_session_request_stop_ends_early():
+    """request_stop() drains a running session well before duration."""
+
+    async def check():
+        session = build_live_session(
+            "ace", short_config(duration=30.0, drain=0.2),
+            trace=BandwidthTrace.constant(20e6, duration=60.0))
+        task = asyncio.ensure_future(session.run())
+        await asyncio.sleep(0.6)
+        session.request_stop()
+        metrics = await asyncio.wait_for(task, timeout=5.0)
+        # Metrics are normalized to the elapsed media time, not the
+        # 30 s that never ran.
+        assert metrics.duration < 2.0
+        assert metrics.frames
+
+    asyncio.run(check())
+
+
+def test_live_session_stats_port_busy_fails_clearly():
+    """A busy --stats-port surfaces as a clear startup error, not an
+    unhandled OSError from deep inside asyncio."""
+
+    async def check():
+        blocker = await asyncio.start_server(
+            lambda r, w: None, "127.0.0.1", 0)
+        port = blocker.sockets[0].getsockname()[1]
+        session = build_live_session(
+            "ace", short_config(duration=0.4, stats_port=port),
+            trace=BandwidthTrace.constant(20e6, duration=12.0))
+        try:
+            with pytest.raises(RuntimeError, match="stats port"):
+                await session.run()
+        finally:
+            blocker.close()
+            await blocker.wait_closed()
+
+    asyncio.run(check())
 
 
 def test_live_session_telemetry_and_stats_port():

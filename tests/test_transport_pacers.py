@@ -46,7 +46,7 @@ class TestLeakyBucketPacer:
         loop.drain()
         delays = pacer.stats.pacing_delays
         assert len(delays) == 5
-        assert delays == sorted(delays)  # later packets wait longer
+        assert list(delays) == sorted(delays)  # later packets wait longer
 
     def test_rtx_priority(self):
         loop = EventLoop()
@@ -62,6 +62,47 @@ class TestLeakyBucketPacer:
     def test_invalid_factor(self):
         with pytest.raises(ValueError):
             LeakyBucketPacer(EventLoop(), lambda p: None, pacing_factor=0)
+
+
+class TestPacerStatsBounds:
+    """The per-packet sample sequences are bounded rings (regression:
+    they grew ~100 B/packet forever, an unbounded leak on soak runs)."""
+
+    def test_sample_rings_are_capped(self):
+        from repro.transport.pacer.base import DEFAULT_SAMPLE_CAP, PacerStats
+        stats = PacerStats()
+        for i in range(DEFAULT_SAMPLE_CAP + 500):
+            stats.pacing_delays.append(float(i))
+            stats.occupancy_samples.append((float(i), i))
+        assert len(stats.pacing_delays) == DEFAULT_SAMPLE_CAP
+        assert len(stats.occupancy_samples) == DEFAULT_SAMPLE_CAP
+        # Oldest samples rotated out; the newest survive.
+        assert stats.pacing_delays[-1] == float(DEFAULT_SAMPLE_CAP + 499)
+        assert stats.pacing_delays[0] == 500.0
+
+    def test_rebound_keeps_newest_samples(self):
+        from repro.transport.pacer.base import PacerStats
+        stats = PacerStats()
+        for i in range(100):
+            stats.pacing_delays.append(float(i))
+        stats.rebound(10)
+        assert list(stats.pacing_delays) == [float(i) for i in range(90, 100)]
+        # The new cap holds from now on.
+        stats.pacing_delays.append(100.0)
+        assert len(stats.pacing_delays) == 10
+        assert stats.pacing_delays[0] == 91.0
+
+    def test_scalar_counters_stay_exact_past_the_cap(self):
+        loop = EventLoop()
+        pacer = LeakyBucketPacer(loop, lambda p: None)
+        pacer.stats.rebound(8)
+        pacer.set_pacing_rate(1e9)
+        for burst in range(5):
+            pacer.enqueue(packets(4, start_seq=burst * 4))
+            loop.drain()
+        assert pacer.stats.sent_packets == 20
+        assert pacer.stats.enqueued_packets == 20
+        assert len(pacer.stats.pacing_delays) == 8
 
 
 class TestBurstPacer:
