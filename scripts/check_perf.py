@@ -68,6 +68,25 @@ DEFAULT_LIVE_SESSIONS = 8
 DEFAULT_LIVE_DURATION = 2.0
 DEFAULT_LIVE_P99_MS = 250.0
 
+#: autoscale gate defaults: the ceiling probe (geometric ascent +
+#: bisection over short live fleets, see repro.live.autoscale) must
+#: find at least this many sustainable sessions per core. The floor is
+#: conservative — one session per core is table stakes; the probe's
+#: value is the *artifact* (BENCH_live_ceiling.json + the history
+#: line), which records what the box actually sustained over time.
+DEFAULT_AUTOSCALE_FLOOR = 1.0
+DEFAULT_AUTOSCALE_MAX = 16
+DEFAULT_AUTOSCALE_DURATION = 1.0
+DEFAULT_CEILING_ARTIFACT = Path(__file__).resolve().parent.parent / \
+    "BENCH_live_ceiling.json"
+
+#: every check_perf invocation appends one JSON line here (gate
+#: results, bench minima, live-load / autoscale outcomes) so perf
+#: history accumulates across CI runs instead of vanishing with each
+#: job. CI uploads it as an artifact.
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / \
+    "BENCH_history.jsonl"
+
 
 def load_mins(bench_json: Path) -> dict[str, float]:
     """Per-bench minimum seconds from a pytest-benchmark dump."""
@@ -75,11 +94,47 @@ def load_mins(bench_json: Path) -> dict[str, float]:
     return {b["name"]: float(b["stats"]["min"]) for b in data["benchmarks"]}
 
 
-def check_live_load(sessions: int, duration: float, p99_ms: float) -> bool:
+def append_history(path: Path, record: dict) -> None:
+    """Append one run record to the bench-history JSONL file."""
+    import time
+
+    record = {"at": round(time.time(), 3), **record}
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def check_autoscale(floor: float, max_sessions: int, duration: float,
+                    artifact: Path) -> tuple[bool, dict]:
+    """Probe the sessions/core ceiling and gate it against ``floor``.
+
+    Returns ``(ok, result)``; the probe artifact is written either way
+    so a failing box still leaves evidence of what it sustained.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.live.autoscale import AutoscaleConfig, run_autoscale
+
+    result = run_autoscale(
+        AutoscaleConfig(max_sessions=max_sessions, duration=duration),
+        echo=lambda line: print(f"       {line}"),
+        artifact_path=str(artifact))
+    per_core = result["sessions_per_core"]
+    ok = per_core >= floor
+    status = "ok" if ok else "FAIL"
+    state = ("converged" if result["converged"]
+             else "at cap" if result["at_cap"] else "not converged")
+    print(f"  {status:>4} live-autoscale: ceiling "
+          f"{result['ceiling_sessions']} sessions "
+          f"({per_core:.2f}/core, {state}; floor {floor:g}/core) "
+          f"-> {artifact}")
+    return ok, result
+
+
+def check_live_load(sessions: int, duration: float,
+                    p99_ms: float) -> tuple[bool, dict]:
     """Run the multi-session live supervisor and gate fleet pacing p99.
 
-    Returns True on pass. Runs in-process (sys.path gets src/) so the
-    gate exercises exactly the working tree under test.
+    Returns ``(ok, digest)``. Runs in-process (sys.path gets src/) so
+    the gate exercises exactly the working tree under test.
     """
     import os
 
@@ -100,7 +155,13 @@ def check_live_load(sessions: int, duration: float, p99_ms: float) -> bool:
           f"{failed} failed; fleet pacing p99 "
           f"{'-' if p99 is None else f'{p99:.2f} ms'} "
           f"(limit {p99_ms:g} ms)")
-    return ok
+    digest = {
+        "ok": ok, "sessions": sessions, "completed": summary["completed"],
+        "failed": failed, "pacing_p99_ms": p99, "limit_ms": p99_ms,
+        "cpu_total_s": summary.get("cpu_total_s"),
+        "rss_mb": summary.get("rss_mb"),
+    }
+    return ok, digest
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,27 +213,77 @@ def main(argv: list[str] | None = None) -> int:
                              "is not at least this much faster than its "
                              "reference twin from the same run (default "
                              f"{DEFAULT_BATCH_MACRO_SPEEDUP})")
+    parser.add_argument("--live-autoscale", action="store_true",
+                        dest="live_autoscale",
+                        help="also probe the sessions/core ceiling "
+                             "(repro.live.autoscale) and gate it against "
+                             "--autoscale-floor; writes --ceiling-out")
+    parser.add_argument("--autoscale-floor", type=float,
+                        default=DEFAULT_AUTOSCALE_FLOOR,
+                        dest="autoscale_floor",
+                        help="minimum sustainable sessions per core "
+                             f"(default {DEFAULT_AUTOSCALE_FLOOR:g})")
+    parser.add_argument("--autoscale-max", type=int,
+                        default=DEFAULT_AUTOSCALE_MAX, dest="autoscale_max",
+                        help="fleet-size cap for the ceiling probe "
+                             f"(default {DEFAULT_AUTOSCALE_MAX})")
+    parser.add_argument("--autoscale-duration", type=float,
+                        default=DEFAULT_AUTOSCALE_DURATION,
+                        dest="autoscale_duration",
+                        help="media seconds per probe round "
+                             f"(default {DEFAULT_AUTOSCALE_DURATION:g})")
+    parser.add_argument("--ceiling-out", type=Path,
+                        default=DEFAULT_CEILING_ARTIFACT, dest="ceiling_out",
+                        help="where the ceiling artifact is written")
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY,
+                        help="bench-history JSONL every run appends to")
+    parser.add_argument("--no-history", action="store_true",
+                        dest="no_history",
+                        help="skip the bench-history append")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the snapshot from bench_json and exit")
     args = parser.parse_args(argv)
 
+    record: dict = {"kind": "check_perf", "argv": list(argv or sys.argv[1:])}
+
+    def finish(code: int) -> int:
+        record["exit_code"] = code
+        if not args.no_history:
+            append_history(args.history, record)
+        return code
+
     live_ok = True
     if args.live_load:
-        live_ok = check_live_load(args.live_sessions, args.live_duration,
-                                  args.live_p99_ms)
+        live_ok, record["live_load"] = check_live_load(
+            args.live_sessions, args.live_duration, args.live_p99_ms)
+    autoscale_ok = True
+    if args.live_autoscale:
+        autoscale_ok, autoscale = check_autoscale(
+            args.autoscale_floor, args.autoscale_max,
+            args.autoscale_duration, args.ceiling_out)
+        record["autoscale"] = {
+            "ok": autoscale_ok,
+            "ceiling_sessions": autoscale["ceiling_sessions"],
+            "sessions_per_core": autoscale["sessions_per_core"],
+            "cores": autoscale["cores"],
+            "converged": autoscale["converged"],
+            "at_cap": autoscale["at_cap"],
+        }
     if args.bench_json is None:
-        if not args.live_load:
-            parser.error("need a bench_json dump and/or --live-load")
-        if live_ok:
-            print("check_perf: live-load gate passed")
-            return 0
-        print("check_perf: live-load gate failed", file=sys.stderr)
-        return 1
+        if not (args.live_load or args.live_autoscale):
+            parser.error("need a bench_json dump, --live-load, "
+                         "and/or --live-autoscale")
+        if live_ok and autoscale_ok:
+            print("check_perf: live gate(s) passed")
+            return finish(0)
+        print("check_perf: live gate(s) failed", file=sys.stderr)
+        return finish(1)
 
     current = load_mins(args.bench_json)
+    record["benches"] = {k: round(v, 6) for k, v in sorted(current.items())}
     if not current:
         print("check_perf: no benchmarks in dump", file=sys.stderr)
-        return 2
+        return finish(2)
 
     if args.update:
         snap = {
@@ -186,7 +297,7 @@ def main(argv: list[str] | None = None) -> int:
                                  + "\n")
         print(f"check_perf: wrote {len(current)} baselines "
               f"to {args.snapshot}")
-        return 0
+        return finish(0)
 
     baseline = json.loads(args.snapshot.read_text())["benchmarks"]
     failures = []
@@ -240,12 +351,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if not live_ok:
         failures.append("live-load")
+    if not autoscale_ok:
+        failures.append("live-autoscale")
+    record["failures"] = list(failures)
     if failures:
         print(f"check_perf: {len(failures)} regression(s) beyond "
               f"{args.threshold}x: {', '.join(failures)}", file=sys.stderr)
-        return 1
+        return finish(1)
     print("check_perf: all benches within threshold")
-    return 0
+    return finish(0)
 
 
 if __name__ == "__main__":

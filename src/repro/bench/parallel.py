@@ -91,6 +91,10 @@ class GridTask:
     build_kwargs: dict = field(default_factory=dict)
     telemetry: bool = False
     audit: bool = False
+    #: attach the burstiness SLO watchdog (implies telemetry); fired
+    #: alert summaries land on the returned metrics as ``slo_alerts``.
+    slo: bool = False
+    slo_pacing_p99_s: float = 0.25
     #: multi-flow arena cell: ``{"flows": [ArenaFlowSpec kwargs, ...],
     #: "discipline": name, "discipline_params": {...}}``. When set,
     #: ``baseline`` is a display label (the mix string) and the cell
@@ -132,7 +136,7 @@ class GridTask:
 
     @property
     def instrumented(self) -> bool:
-        return self.telemetry or self.audit
+        return self.telemetry or self.audit or self.slo
 
 
 def _run_task(task: GridTask) -> SessionMetrics:
@@ -162,8 +166,12 @@ def _run_task(task: GridTask) -> SessionMetrics:
         session = build_session(task.baseline, task.trace,
                                 task.session_config(),
                                 category=task.category, **task.build_kwargs)
-        if task.telemetry:
-            session.enable_telemetry()
+        watchdog = None
+        if task.telemetry or task.slo:
+            telemetry = session.enable_telemetry()
+            if task.slo:
+                watchdog = telemetry.attach_watchdog(
+                    pacing_p99_s=task.slo_pacing_p99_s)
         auditor = None
         if task.audit:
             from repro.audit import attach_audit
@@ -171,6 +179,10 @@ def _run_task(task: GridTask) -> SessionMetrics:
         metrics = session.run()
         if auditor is not None:
             auditor.finalize()
+        if watchdog is not None:
+            # Plain attribute on the (unslotted) dataclass; survives the
+            # pickle back to the parent like any other field.
+            metrics.slo_alerts = watchdog.summary()
         metrics.bandwidth_fn = None
         return metrics
     finally:
@@ -305,6 +317,8 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
              verbose: bool = False,
              engine: str = "reference",
              discipline: str = "droptail",
+             slo: bool = False,
+             slo_pacing_p99_s: float = 0.25,
              ) -> dict[tuple, SessionMetrics]:
     """Run a (baseline x trace x seed x category) grid.
 
@@ -334,6 +348,10 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
     keep their historical cache identity and an AQM run can never be
     served from a drop-tail slot. The manifest records the discipline
     either way.
+
+    ``slo=True`` opts every cell into the burstiness SLO watchdog
+    (see :mod:`repro.obs.slo`): cells run instrumented (bypassing the
+    cache) and each result carries a ``slo_alerts`` summary dict.
     """
     if engine != "reference":
         build_kwargs = {**(build_kwargs or {}), "engine": engine}
@@ -343,6 +361,12 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
                       duration=duration, fps=fps,
                       initial_bwe_bps=initial_bwe_bps,
                       build_kwargs=build_kwargs)
+    if slo:
+        # Watchdog cells are instrumented, so they bypass the result
+        # cache (a cache hit would have no alerts to report).
+        for task in tasks:
+            task.slo = True
+            task.slo_pacing_p99_s = slo_pacing_p99_s
     if runner is None:
         if cache is None and use_cache:
             cache = ResultCache()

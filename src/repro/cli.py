@@ -128,8 +128,40 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_stall(spec: Optional[str]) -> tuple[Optional[float], float]:
+    """Parse ``--inject-stall AT[:DUR]`` into ``(at_s, duration_s)``."""
+    if spec is None:
+        return None, 1.0
+    try:
+        if ":" in spec:
+            at_txt, dur_txt = spec.split(":", 1)
+            return float(at_txt), float(dur_txt)
+        return float(spec), 1.0
+    except ValueError:
+        raise SystemExit(
+            f"--inject-stall wants AT or AT:DUR seconds, got {spec!r}")
+
+
+def _fmt_slo_event(event: dict) -> str:
+    bound = event.get("bound")
+    value = event.get("value")
+    return (f"SLO {event['state'].upper()}: {event['rule']} "
+            f"({event['metric']} = "
+            f"{'-' if value is None else f'{value:g}'}, bound "
+            f"{'-' if bound is None else f'{bound:g}'}) "
+            f"at t={event['at']:.2f}s")
+
+
+def _print_slo_summary(summary: dict) -> None:
+    for event in summary.get("events", ()):
+        print(_fmt_slo_event(event))
+    firing = summary.get("firing") or []
+    print(f"slo: {summary.get('alerts', 0)} alert(s), "
+          f"firing: {', '.join(firing) if firing else '-'}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.check or args.telemetry_out:
+    if args.check or args.telemetry_out or args.slo or args.inject_stall:
         return _cmd_run_checked(args)
     runner = make_runner(args)
     [metrics] = runner.run([make_task(args.baseline, args)])
@@ -145,12 +177,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run_checked(args: argparse.Namespace) -> int:
-    """``repro run --check`` / ``--telemetry-out``: run in-process.
+def _schedule_sim_stall(session, at: float, duration: float) -> None:
+    """Pin the pacer at its rate floor for ``duration`` sim seconds.
 
-    Bypasses the parallel runner and the result cache — the auditor and
-    telemetry must attach to the live session object, and a cache hit
-    would observe nothing.
+    Same mechanism as the live injector (:class:`LiveSession`): clamp to
+    0 bps (the pacer floors it) and re-arm every 50 ms so congestion-
+    control rate updates between clamps cannot un-stall it.
+    """
+    loop = session.loop
+    pacer = session.sender.pacer
+    end = at + duration
+
+    def clamp() -> None:
+        pacer.set_pacing_rate(0.0)
+        if loop.now < end:
+            loop.call_later(0.05, clamp, "slo.stall")
+
+    loop.call_at(at, clamp, "slo.stall")
+
+
+def _cmd_run_checked(args: argparse.Namespace) -> int:
+    """``repro run --check`` / ``--telemetry-out`` / ``--slo``: in-process.
+
+    Bypasses the parallel runner and the result cache — the auditor,
+    telemetry, and SLO watchdog must attach to the live session object,
+    and a cache hit would observe nothing.
     """
     trace = make_trace(args.trace, args.seed, args.duration + 10)
     config = SessionConfig(
@@ -163,7 +214,16 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
                             engine=getattr(args, "engine", "reference"),
                             discipline=getattr(args, "discipline",
                                                DEFAULT_DISCIPLINE))
-    telemetry = session.enable_telemetry() if args.telemetry_out else None
+    telemetry = None
+    if args.telemetry_out or args.slo:
+        telemetry = session.enable_telemetry()
+    watchdog = None
+    if args.slo:
+        watchdog = telemetry.attach_watchdog(
+            pacing_p99_s=args.slo_p99_ms / 1000.0)
+    stall_at, stall_dur = _parse_stall(args.inject_stall)
+    if stall_at is not None:
+        _schedule_sim_stall(session, stall_at, stall_dur)
     auditor = None
     if args.check:
         from repro.audit import attach_audit
@@ -174,11 +234,13 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
     print_table(f"{args.baseline} over {args.trace} "
                 f"({args.duration:.0f}s, {args.category}{suffix})",
                 HEADERS, [metrics_row(args.baseline, metrics)])
-    if telemetry is not None:
+    if telemetry is not None and args.telemetry_out:
         from repro.obs import write_export_dir
         jsonl, snapshot = write_export_dir(telemetry, args.telemetry_out)
         print(f"telemetry: {len(telemetry.events)} records -> {jsonl}, "
               f"snapshot -> {snapshot}")
+    if watchdog is not None:
+        _print_slo_summary(watchdog.summary())
     if auditor is not None:
         print(auditor.report())
     return 1 if violations else 0
@@ -251,6 +313,7 @@ def cmd_live(args: argparse.Namespace) -> int:
     from repro.live.session import LiveConfig, build_live_session
 
     trace = make_trace(args.trace, args.seed, args.duration + 10)
+    stall_at, stall_dur = _parse_stall(args.inject_stall)
     config = LiveConfig(
         duration=args.duration, seed=args.seed, fps=args.fps,
         initial_bwe_bps=args.initial_bwe * 1e6,
@@ -261,6 +324,10 @@ def cmd_live(args: argparse.Namespace) -> int:
         audit=args.check,
         telemetry=bool(args.telemetry_out),
         stats_port=args.stats_port,
+        slo=args.slo,
+        slo_pacing_p99_s=args.slo_p99_ms / 1000.0,
+        inject_stall_at=stall_at,
+        inject_stall_duration=stall_dur,
     )
     session = build_live_session(args.baseline, config, trace=trace,
                                  category=args.category)
@@ -289,6 +356,8 @@ def cmd_live(args: argparse.Namespace) -> int:
     print(f"impairment: {shim.delivered} datagrams delivered, "
           f"{shim.dropped} dropped; "
           f"{metrics.packets_retransmitted} retransmissions")
+    if session.watchdog is not None:
+        _print_slo_summary(session.watchdog.summary())
     if session.auditor is not None:
         print(session.auditor.report())
         if session.auditor.violations:
@@ -329,9 +398,12 @@ def cmd_load(args: argparse.Namespace) -> int:
                 "baselines")
     if not mix:
         raise SystemExit("--mix needs at least one baseline name")
+    if args.autoscale:
+        return _cmd_load_autoscale(args, mix)
     duration = args.duration
     if duration is None:
         duration = DEFAULT_SOAK_DURATION_S if args.soak else 5.0
+    stall_at, stall_dur = _parse_stall(args.inject_stall)
     config = LoadConfig(
         sessions=args.sessions, mix=tuple(mix), ramp=args.ramp,
         duration=duration, drain=args.drain, seed=args.seed, fps=args.fps,
@@ -340,6 +412,10 @@ def cmd_load(args: argparse.Namespace) -> int:
         initial_bwe_bps=args.initial_bwe * 1e6,
         shaped=not args.unshaped, stats_port=args.stats_port,
         heartbeat_interval=args.heartbeat,
+        slo=args.slo,
+        slo_pacing_p99_s=args.slo_p99_ms / 1000.0,
+        inject_stall_at=stall_at,
+        inject_stall_duration=stall_dur,
     )
     trace_factory = None
     if args.trace is not None:
@@ -386,7 +462,43 @@ def cmd_load(args: argparse.Namespace) -> int:
     p99 = summary["pacing_p99_ms"]
     print("fleet pacing p99: "
           + ("-" if p99 is None else f"{p99:.2f} ms"))
+    cpu = summary.get("cpu_total_s")
+    rss = summary.get("rss_mb")
+    print("fleet resources: cpu "
+          + ("-" if cpu is None else f"{cpu:.2f} s")
+          + ", rss " + ("-" if rss is None else f"{rss:.1f} MB")
+          + f", exit {summary.get('exit_reason', 'completed')}")
+    if "slo" in summary:
+        _print_slo_summary(summary["slo"])
     return 1 if summary["failed"] else 0
+
+
+def _cmd_load_autoscale(args: argparse.Namespace, mix: list[str]) -> int:
+    """``repro load --autoscale``: probe the sessions/core ceiling."""
+    from repro.live.autoscale import AutoscaleConfig, run_autoscale
+
+    cfg = AutoscaleConfig(
+        start=args.autoscale_start,
+        max_sessions=args.autoscale_max,
+        duration=args.duration if args.duration is not None else 1.5,
+        drain=min(args.drain, 0.3),
+        seed=args.seed,
+        mix=tuple(mix),
+        p99_limit_ms=args.p99_limit,
+    )
+    print(f"autoscale: probing sessions/core ceiling "
+          f"({','.join(mix)} mix, p99 limit {cfg.p99_limit_ms:g} ms, "
+          f"{cfg.duration:g}s rounds, cap {cfg.max_sessions})")
+    result = run_autoscale(cfg, echo=print,
+                           artifact_path=args.autoscale_out)
+    state = ("converged" if result["converged"]
+             else "at cap" if result["at_cap"] else "not converged")
+    print(f"autoscale ceiling: {result['ceiling_sessions']} sessions "
+          f"({result['sessions_per_core']:.2f}/core over "
+          f"{result['cores']} cores, {state})")
+    if "artifact" in result:
+        print(f"artifact -> {result['artifact']}")
+    return 0 if result["ceiling_sessions"] > 0 else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -583,7 +695,9 @@ def cmd_grid(args: argparse.Namespace) -> int:
                        jobs=args.jobs, use_cache=args.cache,
                        run_dir=args.run_dir, verbose=True,
                        engine=getattr(args, "engine", "reference"),
-                       discipline=disciplines[0])
+                       discipline=disciplines[0],
+                       slo=args.slo,
+                       slo_pacing_p99_s=args.slo_p99_ms / 1000.0)
     if args.run_dir is not None:
         print()
         print(report_run(args.run_dir))
@@ -591,6 +705,15 @@ def cmd_grid(args: argparse.Namespace) -> int:
         rows = [metrics_row("/".join(str(part) for part in key), m)
                 for key, m in results.items()]
         print_table(f"grid: {len(results)} cells", HEADERS, rows)
+    if args.slo:
+        fired = 0
+        for key, m in results.items():
+            slo = getattr(m, "slo_alerts", None) or {}
+            for event in slo.get("events", ()):
+                fired += 1
+                print("/".join(str(part) for part in key) + ": "
+                      + _fmt_slo_event(event))
+        print(f"slo: {fired} alert event(s) across {len(results)} cells")
     return 0
 
 
@@ -705,6 +828,22 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "(REPRO_CACHE=off disables, REPRO_CACHE_DIR moves)")
 
 
+def _add_slo_args(p: argparse.ArgumentParser) -> None:
+    """``--slo`` / ``--slo-p99-ms`` / ``--inject-stall`` (run/live/load)."""
+    p.add_argument("--slo", action="store_true",
+                   help="attach the burstiness SLO watchdog (pacing-p99 "
+                        "threshold + pacer-backlog drift rules) and print "
+                        "fired alerts")
+    p.add_argument("--slo-p99-ms", type=float, default=250.0,
+                   dest="slo_p99_ms", metavar="MS",
+                   help="pacing-delay p99 SLO bound in ms (default 250)")
+    p.add_argument("--inject-stall", default=None, dest="inject_stall",
+                   metavar="AT[:DUR]",
+                   help="fault injection: pin the pacer at its rate floor "
+                        "from AT seconds for DUR seconds (default 1.0) — "
+                        "used to smoke-test the SLO watchdog")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -724,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run with telemetry and write the JSONL event "
                             "log + Prometheus snapshot into DIR (disables "
                             "--jobs/--cache)")
+    _add_slo_args(p_run)
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -803,6 +943,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable telemetry and write the JSONL event "
                              "log + Prometheus snapshot into DIR at "
                              "session end")
+    _add_slo_args(p_live)
     p_live.set_defaults(func=cmd_live)
 
     p_load = sub.add_parser(
@@ -857,6 +998,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--snapshot-out", default=None, dest="snapshot_out",
                         metavar="FILE",
                         help="write the final Prometheus rollup to FILE")
+    _add_slo_args(p_load)
+    p_load.add_argument("--autoscale", action="store_true",
+                        help="instead of one fixed fleet, probe the "
+                             "largest fleet this machine sustains under "
+                             "the pacing-p99 SLO (geometric ascent + "
+                             "bisection) and write the ceiling artifact")
+    p_load.add_argument("--autoscale-start", type=int, default=0,
+                        dest="autoscale_start", metavar="N",
+                        help="first fleet size tried (default: core count)")
+    p_load.add_argument("--autoscale-max", type=int, default=64,
+                        dest="autoscale_max", metavar="N",
+                        help="fleet-size cap for the probe (default 64)")
+    p_load.add_argument("--p99-limit", type=float, default=250.0,
+                        dest="p99_limit", metavar="MS",
+                        help="autoscale SLO: fleet pacing p99 bound in ms "
+                             "(default 250)")
+    p_load.add_argument("--autoscale-out", default="BENCH_live_ceiling.json",
+                        dest="autoscale_out", metavar="FILE",
+                        help="where to write the ceiling artifact "
+                             "(default BENCH_live_ceiling.json)")
     p_load.set_defaults(func=cmd_load)
 
     p_tr = sub.add_parser(
@@ -942,6 +1103,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "--discipline may then be a comma list")
     p_grid.add_argument("--window", type=float, default=10.0,
                         help="fairness window in seconds (arena cells)")
+    p_grid.add_argument("--slo", action="store_true",
+                        help="attach the burstiness SLO watchdog to every "
+                             "cell (instrumented: bypasses the cache) and "
+                             "print fired alerts per cell")
+    p_grid.add_argument("--slo-p99-ms", type=float, default=250.0,
+                        dest="slo_p99_ms", metavar="MS",
+                        help="pacing-delay p99 SLO bound in ms "
+                             "(default 250)")
     _add_common(p_grid)
     p_grid.set_defaults(func=cmd_grid)
 

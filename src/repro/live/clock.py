@@ -29,6 +29,7 @@ scheduling — that is jitter, not a bug).
 from __future__ import annotations
 
 import asyncio
+from time import process_time
 from typing import Any, Callable, Optional, Protocol, runtime_checkable
 
 from repro.sim.events import EventLoop
@@ -125,9 +126,10 @@ class WallClock:
     the scheduling jitter live mode exists to exercise.
     """
 
-    __slots__ = ("_aloop", "_origin")
+    __slots__ = ("_aloop", "_origin", "cpu_s", "callbacks", "_account")
 
-    def __init__(self, aloop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+    def __init__(self, aloop: Optional[asyncio.AbstractEventLoop] = None,
+                 cpu_accounting: bool = False) -> None:
         if aloop is None:
             # get_event_loop() is deprecated off-loop since 3.10 and
             # would silently hand back the wrong loop (or a fresh,
@@ -144,15 +146,44 @@ class WallClock:
                     "as WallClock(aloop=...)") from None
         self._aloop = aloop
         self._origin = self._aloop.time()
+        #: accumulated CPU seconds spent inside callbacks scheduled
+        #: through this clock (only when ``cpu_accounting=True``).
+        self.cpu_s = 0.0
+        #: callbacks dispatched under accounting.
+        self.callbacks = 0
+        self._account = cpu_accounting
 
     @property
     def now(self) -> float:
         return self._aloop.time() - self._origin
 
+    def _timed(self, callback: Callable[[], None]) -> Callable[[], None]:
+        """Wrap a callback with ``process_time`` delta attribution.
+
+        Every piece of session work in live mode — pacer pump, capture
+        tick, feedback tick, telemetry tick — runs as a callback
+        scheduled through the session's own WallClock, and each session
+        owns exactly one clock. Summing process-CPU deltas at callback
+        boundaries therefore attributes CPU *per session* even though
+        the whole fleet shares one asyncio loop and one process; the
+        loop is single-threaded, so deltas never interleave.
+        """
+        def timed() -> None:
+            t0 = process_time()
+            try:
+                callback()
+            finally:
+                self.cpu_s += process_time() - t0
+                self.callbacks += 1
+
+        return timed
+
     def call_at(self, when: float, callback: Callable[[], None],
                 name: str = "") -> WallTimer:
         # Deadlines in the past fire as soon as possible (see module
         # docstring); asyncio's call_at already behaves that way.
+        if self._account:
+            callback = self._timed(callback)
         handle = self._aloop.call_at(self._origin + when, callback)
         return WallTimer(when, name, handle)
 
@@ -161,6 +192,8 @@ class WallClock:
         if delay < 0:
             delay = 0.0
         when = self.now + delay
+        if self._account:
+            callback = self._timed(callback)
         handle = self._aloop.call_later(delay, callback)
         return WallTimer(when, name, handle)
 

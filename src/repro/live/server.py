@@ -45,7 +45,10 @@ from repro.live.stats import start_stats_server, stats_addr
 from repro.net.trace import BandwidthTrace
 from repro.obs.export import prometheus_rollup
 from repro.obs.fleet import LiveFleetLog
+from repro.obs.quantiles import percentiles
 from repro.obs.registry import MetricRegistry
+from repro.obs.resources import process_rss_bytes
+from repro.obs.slo import SloRule, SloWatchdog, fleet_slo_rules
 
 #: default per-session bound on the pacer's per-packet sample rings —
 #: enough for minutes of recent-window percentiles per session while
@@ -95,6 +98,21 @@ class LoadConfig:
     stats_port: Optional[int] = None
     heartbeat_interval: float = 1.0
     pacer_stats_cap: int = DEFAULT_LOAD_STATS_CAP
+    #: per-session CPU attribution at clock-callback boundaries; on by
+    #: default — the wrapper is two ``process_time`` reads per callback.
+    cpu_accounting: bool = True
+    #: fleet SLO watchdog: threshold rules over the fleet registry
+    #: (pacing p99, failed sessions), evaluated every heartbeat,
+    #: published as an ``slo`` rollup shard.
+    slo: bool = False
+    #: fleet pacing-delay p99 bound (seconds) for the default SLO rules.
+    slo_pacing_p99_s: float = 0.25
+    #: watchdog drill: clamp one session's pacing rate to the floor at
+    #: this session time (seconds from that session's join)...
+    inject_stall_at: Optional[float] = None
+    #: ...for this long, in the session picked by ``inject_stall_session``.
+    inject_stall_duration: float = 1.0
+    inject_stall_session: int = 0
 
 
 def build_load_specs(config: LoadConfig,
@@ -121,7 +139,12 @@ def build_load_specs(config: LoadConfig,
             queue_capacity_bytes=config.queue_capacity_bytes,
             drain=config.drain, shaped=config.shaped,
             telemetry=True, keep_telemetry_events=False,
-            pacer_stats_cap=config.pacer_stats_cap)
+            pacer_stats_cap=config.pacer_stats_cap,
+            cpu_accounting=config.cpu_accounting)
+        if (config.inject_stall_at is not None
+                and i == config.inject_stall_session % config.sessions):
+            live.inject_stall_at = config.inject_stall_at
+            live.inject_stall_duration = config.inject_stall_duration
         if trace_factory is not None:
             trace = trace_factory(i)
         else:
@@ -164,18 +187,19 @@ class SessionRecord:
             return tuple(None for _ in pcts)
         return percentiles(session.sender.pacer.stats.pacing_delays, pcts)
 
+    @property
+    def cpu_s(self) -> Optional[float]:
+        """CPU seconds attributed to this session (clock accounting)."""
+        session = self.session
+        if session is None or not session.config.cpu_accounting:
+            return None
+        return session.cpu_s
 
-def percentiles(values, pcts: Tuple[float, ...]) -> Tuple[Optional[float], ...]:
-    """Nearest-rank percentiles of an iterable (None when empty)."""
-    data = sorted(values)
-    if not data:
-        return tuple(None for _ in pcts)
-    n = len(data)
-    out = []
-    for pct in pcts:
-        rank = max(0, min(n - 1, int(round(pct / 100.0 * (n - 1)))))
-        out.append(data[rank])
-    return tuple(out)
+
+# ``percentiles`` used to be defined here; it now lives in
+# :mod:`repro.obs.quantiles` (shared with check_perf, the burst
+# analyzer, and the autoscale probe) and is re-exported above for
+# existing importers.
 
 
 # ----------------------------------------------------------------------
@@ -197,7 +221,8 @@ class SessionSupervisor:
                  run_dir: Optional[str] = None,
                  echo: Optional[Callable[[str], None]] = None,
                  session_factory: Optional[
-                     Callable[[SessionSpec], LiveSession]] = None) -> None:
+                     Callable[[SessionSpec], LiveSession]] = None,
+                 slo_rules: Optional[Sequence[SloRule]] = None) -> None:
         self.records = [SessionRecord(spec=spec) for spec in specs]
         self.ramp = ramp
         self.stats_port = stats_port
@@ -224,6 +249,30 @@ class SessionSupervisor:
         self._g_p99 = self.fleet.gauge(
             "live.pacing_p99_s",
             help="Fleet-wide p99 of recent per-packet pacing delays")
+        self._g_rss = self.fleet.gauge(
+            "live.rss_bytes",
+            help="Resident set size of the supervisor process")
+        self._g_cpu = self.fleet.gauge(
+            "live.cpu_total_s",
+            help="CPU seconds attributed across all session clocks")
+        #: fleet SLO watchdog over the supervisor shard; evaluated on
+        #: every heartbeat (after gauge refresh), alerts streamed into
+        #: the fleet log and published as the ``slo`` rollup shard.
+        self.watchdog: Optional[SloWatchdog] = None
+        if slo_rules is not None:
+            self.watchdog = SloWatchdog(
+                slo_rules, source=self.fleet, on_alert=self._on_slo_alert)
+
+    def _on_slo_alert(self, event: dict) -> None:
+        record = {**event, "elapsed_s": round(self.log.elapsed_s, 6)}
+        self.log.append(record)
+        if self.log.echo is not None:
+            bound = event["bound"]
+            self.log.echo(
+                f"SLO {event['state'].upper()}: {event['rule']} "
+                f"({event['metric']} = {event['value']:g}, "
+                f"bound {'-' if bound is None else f'{bound:g}'}) "
+                f"at t={self.log.elapsed_s:.1f}s")
 
     # ------------------------------------------------------------------
     # run / stop
@@ -253,8 +302,14 @@ class SessionSupervisor:
         tasks = [aloop.create_task(self._run_one(rec, i * step))
                  for i, rec in enumerate(self.records)]
         beat_task = aloop.create_task(self._heartbeat_loop())
+        exit_reason = "completed"
         try:
             await asyncio.gather(*tasks)
+        except BaseException as exc:
+            # Supervisor-level failure (member-session crashes are
+            # isolated in _run_one and never reach here).
+            exit_reason = f"failure: {type(exc).__name__}: {exc}"
+            raise
         finally:
             beat_task.cancel()
             try:
@@ -266,8 +321,12 @@ class SessionSupervisor:
             if stats_server is not None:
                 stats_server.close()
                 await stats_server.wait_closed()
-        self.heartbeat()  # terminal statuses land in the log
-        self.summary = self.log.finalize(self._summary())
+            if exit_reason == "completed" and self._stopping:
+                exit_reason = "sigint-drain"
+            self.heartbeat()  # terminal statuses land in the log
+            # Finalize inside the teardown path so even a supervisor
+            # crash leaves a summary.json naming its exit reason.
+            self.summary = self.log.finalize(self._summary(exit_reason))
         return self.records
 
     def request_stop(self) -> None:
@@ -322,6 +381,8 @@ class SessionSupervisor:
     def shards(self) -> dict:
         """Label -> registry map of every session that has telemetry."""
         shards = {"fleet": self.fleet}
+        if self.watchdog is not None:
+            shards["slo"] = self.watchdog.publish
         for rec in self.records:
             session = rec.session
             if session is not None and session.telemetry is not None:
@@ -341,6 +402,24 @@ class SessionSupervisor:
             self._g_p50.set(p50)
         if p99 is not None:
             self._g_p99.set(p99)
+        rss = process_rss_bytes()
+        if rss is not None:
+            self._g_rss.set(rss)
+        cpu_total = 0.0
+        for rec in self.records:
+            cpu = rec.cpu_s
+            if cpu is None:
+                continue
+            cpu_total += cpu
+            session = rec.session
+            if session is not None and session.telemetry is not None:
+                # Per-session shard: CPU attributed to this session's
+                # clock callbacks, scraped as live.cpu_s{session=label}.
+                session.telemetry.registry.gauge(
+                    "live.cpu_s", record=False,
+                    help="CPU seconds attributed to this session",
+                ).set(cpu)
+        self._g_cpu.set(cpu_total)
 
     #: per-session tail of the pacing ring folded into fleet percentiles
     #: (bounds heartbeat cost at large fleets).
@@ -369,7 +448,9 @@ class SessionSupervisor:
             self.heartbeat()
 
     def heartbeat(self) -> dict:
-        """Emit one fleet heartbeat (per-session liveness + pacing)."""
+        """Emit one fleet heartbeat (per-session liveness + pacing +
+        resource accounting), then evaluate the SLO watchdog against
+        the freshly refreshed fleet gauges."""
         self._refresh_fleet_gauges()
         counts = {"pending": 0, "running": 0, "completed": 0,
                   "failed": 0, "skipped": 0}
@@ -387,11 +468,19 @@ class SessionSupervisor:
                     entry["pacing_p50_ms"] = round(p50 * 1e3, 3)
                 if p99 is not None:
                     entry["pacing_p99_ms"] = round(p99 * 1e3, 3)
+                cpu = rec.cpu_s
+                if cpu is not None:
+                    entry["cpu_s"] = round(cpu, 4)
             sessions[rec.spec.label] = entry
         p50, p99 = self._fleet_pacing()
         record = {**counts, "sessions": sessions,
                   "pacing_p50_ms": None if p50 is None else round(p50 * 1e3, 3),
-                  "pacing_p99_ms": None if p99 is None else round(p99 * 1e3, 3)}
+                  "pacing_p99_ms": None if p99 is None else round(p99 * 1e3, 3),
+                  "cpu_total_s": round(self._g_cpu.value or 0.0, 4),
+                  "rss_mb": (None if self._g_rss.value is None
+                             else round(self._g_rss.value / 2**20, 2))}
+        if self.watchdog is not None:
+            self.watchdog.evaluate(self.log.elapsed_s)
         p99_txt = "-" if p99 is None else f"{p99 * 1e3:.1f} ms"
         line = (f"live fleet: {counts['running']} running, "
                 f"{counts['completed']} completed, {counts['failed']} failed"
@@ -400,28 +489,44 @@ class SessionSupervisor:
                 + f"; p99 pacing {p99_txt} at t={self.log.elapsed_s:.1f}s")
         return self.log.heartbeat(record, line)
 
-    def _summary(self) -> dict:
+    def _summary(self, exit_reason: str = "completed") -> dict:
         counts = {"completed": 0, "failed": 0, "skipped": 0}
         rows = []
+        statuses = {}
         for rec in self.records:
             counts[rec.status] = counts.get(rec.status, 0) + 1
+            statuses[rec.spec.label] = rec.status
             p50, p99 = rec.pacing_percentiles()
             row = {"label": rec.spec.label, "baseline": rec.spec.baseline,
                    "status": rec.status, "error": rec.error,
                    "pacing_p50_ms": None if p50 is None else round(p50 * 1e3, 3),
                    "pacing_p99_ms": None if p99 is None else round(p99 * 1e3, 3)}
+            cpu = rec.cpu_s
+            if cpu is not None:
+                row["cpu_s"] = round(cpu, 4)
             if rec.metrics is not None:
                 row["frames"] = len(rec.metrics.frames)
                 row["p95_latency_ms"] = round(
                     rec.metrics.p95_latency() * 1e3, 3)
             rows.append(row)
         p50, p99 = self._fleet_pacing()
-        return {"sessions": len(self.records), **counts,
-                "pacing_p50_ms": None if p50 is None else round(p50 * 1e3, 3),
-                "pacing_p99_ms": None if p99 is None else round(p99 * 1e3, 3),
-                "stats_addr": (list(self.stats_addr)
-                               if self.stats_addr else None),
-                "per_session": rows}
+        summary = {"sessions": len(self.records), **counts,
+                   "exit_reason": exit_reason,
+                   "statuses": statuses,
+                   "pacing_p50_ms": None if p50 is None else round(p50 * 1e3, 3),
+                   "pacing_p99_ms": None if p99 is None else round(p99 * 1e3, 3),
+                   "cpu_total_s": round(self._g_cpu.value or 0.0, 4),
+                   "rss_mb": (None if self._g_rss.value is None
+                              else round(self._g_rss.value / 2**20, 2)),
+                   "stats_addr": (list(self.stats_addr)
+                                  if self.stats_addr else None),
+                   "per_session": rows}
+        if self.watchdog is not None:
+            slo = self.watchdog.summary()
+            summary["slo"] = {"alerts": slo["alerts"],
+                              "firing": slo["firing"],
+                              "events": slo["events"]}
+        return summary
 
 
 # ----------------------------------------------------------------------
@@ -436,11 +541,14 @@ async def run_load_async(config: LoadConfig, *,
                              Callable[[SessionSpec], LiveSession]] = None,
                          ) -> SessionSupervisor:
     """Build the fleet from ``config`` and drive it to completion."""
+    slo_rules = (fleet_slo_rules(pacing_p99_s=config.slo_pacing_p99_s)
+                 if config.slo else None)
     supervisor = SessionSupervisor(
         build_load_specs(config, trace_factory),
         ramp=config.ramp, stats_port=config.stats_port,
         heartbeat_interval=config.heartbeat_interval,
-        run_dir=run_dir, echo=echo, session_factory=session_factory)
+        run_dir=run_dir, echo=echo, session_factory=session_factory,
+        slo_rules=slo_rules)
     await supervisor.run()
     return supervisor
 

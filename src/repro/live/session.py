@@ -82,6 +82,22 @@ class LiveConfig:
     #: (None = the pacer default); set per session by the supervisor so
     #: fleet memory is sessions x cap.
     pacer_stats_cap: Optional[int] = None
+    #: attribute CPU time to this session at clock-callback boundaries
+    #: (:class:`~repro.live.clock.WallClock` accounting); read back via
+    #: ``session.cpu_s``. The supervisor turns this on fleet-wide.
+    cpu_accounting: bool = False
+    #: attach the SLO watchdog (implies telemetry): default session
+    #: rules over the burst analyzer's pacing tail + pacer backlog
+    #: drift, evaluated on the telemetry tick.
+    slo: bool = False
+    #: pacing-delay p99 bound (seconds) for the default SLO rules.
+    slo_pacing_p99_s: float = 0.25
+    #: fault injection for watchdog drills: clamp the pacing rate to
+    #: the pacer floor starting at this session time (seconds) ...
+    inject_stall_at: Optional[float] = None
+    #: ... for this long. The clamp re-fires every 50 ms so congestion-
+    #: controller updates cannot lift the rate mid-stall.
+    inject_stall_duration: float = 1.0
 
 
 class LiveSession:
@@ -121,6 +137,16 @@ class LiveSession:
         #: ``(host, port)`` of the running stats endpoint, for callers
         #: that passed ``stats_port=0``.
         self.stats_addr: Optional[tuple] = None
+        #: populated by run() when ``config.slo`` is set
+        #: (:class:`repro.obs.slo.SloWatchdog`).
+        self.watchdog = None
+        self._stall_handle = None
+
+    @property
+    def cpu_s(self) -> float:
+        """CPU seconds attributed to this session's clock callbacks
+        (0.0 unless ``config.cpu_accounting``)."""
+        return self.clock.cpu_s if self.clock is not None else 0.0
 
     # ------------------------------------------------------------------
     # run
@@ -133,7 +159,8 @@ class LiveSession:
         (source_factory, codec_factory, rate_control_factory,
          pacer_factory, cc_factory) = self._factories
 
-        clock = self.clock = WallClock(asyncio.get_running_loop())
+        clock = self.clock = WallClock(asyncio.get_running_loop(),
+                                       cpu_accounting=config.cpu_accounting)
         impairment = self.impairment = LoopbackImpairment(
             ImpairmentConfig(
                 base_rtt=config.base_rtt,
@@ -174,12 +201,18 @@ class LiveSession:
             pacer.stats.rebound(config.pacer_stats_cap)
 
         telemetry = None
-        if config.telemetry or config.stats_port is not None:
+        if config.telemetry or config.stats_port is not None or config.slo:
             from repro.obs import Telemetry, instrument_stack
             telemetry = self.telemetry = Telemetry(
                 clock, keep_events=config.keep_telemetry_events)
             # No Link in live mode — the impairment shim is the bottleneck.
             instrument_stack(telemetry, pacer=pacer, cc=cc, ace_n=ace_n)
+            if config.slo:
+                self.watchdog = telemetry.attach_watchdog(
+                    pacing_p99_s=config.slo_pacing_p99_s)
+        if config.inject_stall_at is not None:
+            self._schedule_stall(clock, pacer, config.inject_stall_at,
+                                 config.inject_stall_duration)
 
         sender = self.sender = Sender(
             clock, source, codec, rate_control_factory(), pacer, cc,
@@ -243,6 +276,9 @@ class LiveSession:
             sender.stop()
             receiver.stop()
             pacer.cancel_pump()
+            if self._stall_handle is not None:
+                self._stall_handle.cancel()
+                self._stall_handle = None
             if stats_server is not None:
                 stats_server.close()
                 await stats_server.wait_closed()
@@ -253,6 +289,33 @@ class LiveSession:
         if self.auditor is not None:
             self.auditor.finalize()
         return self._collect(send_end, duration=media_elapsed)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def _schedule_stall(self, clock: WallClock, pacer, at: float,
+                        duration: float) -> None:
+        """Pacing-stall drill: pin the pacer at its rate floor.
+
+        ``set_pacing_rate`` floors at 10 kbps, so clamping to 0 holds
+        the pacer at the floor while frames keep arriving at the full
+        target bitrate — backlog and pacing delay blow up within a few
+        frames, which is exactly the signal the SLO watchdog exists to
+        catch. The clamp re-arms every 50 ms to out-shout congestion-
+        controller rate updates for the stall window, then stops;
+        recovery is the controller's problem (and is itself worth
+        watching).
+        """
+        end = at + duration
+
+        def clamp() -> None:
+            self._stall_handle = None
+            pacer.set_pacing_rate(0.0)
+            if clock.now < end and not self._stop_requested:
+                self._stall_handle = clock.call_later(
+                    0.05, clamp, "slo.stall")
+
+        self._stall_handle = clock.call_later(at, clamp, "slo.stall")
 
     # ------------------------------------------------------------------
     # early stop

@@ -22,6 +22,20 @@ the ACE-N decisions active while it waited), and *up* to the fleet
 diffable run directories).
 """
 
+from repro.obs.burst import BurstAnalyzer
+from repro.obs.quantiles import (
+    clean_samples,
+    histogram_quantile,
+    percentile,
+    percentiles,
+)
+from repro.obs.resources import process_rss_bytes
+from repro.obs.slo import (
+    SloRule,
+    SloWatchdog,
+    fleet_slo_rules,
+    session_slo_rules,
+)
 from repro.obs.attrib import (
     BLAME_CATEGORIES,
     BlameSegment,
@@ -60,6 +74,7 @@ from repro.obs.wiring import instrument_arena, instrument_stack
 __all__ = [
     "BLAME_CATEGORIES",
     "BlameSegment",
+    "BurstAnalyzer",
     "Counter",
     "FleetObserver",
     "FlightRecorder",
@@ -73,6 +88,8 @@ __all__ = [
     "ProfileEntry",
     "SPAN_STAGES",
     "SessionAttribution",
+    "SloRule",
+    "SloWatchdog",
     "SpanBook",
     "Telemetry",
     "TelemetryRecord",
@@ -80,11 +97,17 @@ __all__ = [
     "attribute_metrics",
     "attribute_session",
     "build_manifest",
+    "clean_samples",
     "diff_runs",
     "filter_records",
+    "fleet_slo_rules",
+    "histogram_quantile",
     "instrument_arena",
     "instrument_stack",
     "load_run",
+    "percentile",
+    "percentiles",
+    "process_rss_bytes",
     "prometheus_rollup",
     "prometheus_snapshot",
     "render_frame_blame",
@@ -92,6 +115,7 @@ __all__ = [
     "render_rollup",
     "render_span_timeline",
     "report_run",
+    "session_slo_rules",
     "write_export_dir",
     "write_jsonl",
     "write_snapshot",

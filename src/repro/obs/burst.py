@@ -1,0 +1,207 @@
+"""Online sending-burstiness analyzer.
+
+The paper's subject is *sending burstiness*: how tightly packet
+releases cluster on the wire and how long packets sit in the pacer
+before release. This module turns the per-packet wire hook the
+telemetry layer already has (:meth:`repro.obs.recorder.Telemetry.
+packet_wire`) into a streaming view of exactly those distributions:
+
+* ``burst.ipg_s`` — inter-packet-gap histogram (sub-millisecond
+  buckets; a paced flow concentrates mass near ``packet_bytes /
+  pacing_rate``, a bursty one piles onto the first bucket);
+* ``burst.train_packets`` / ``burst.train_bytes`` /
+  ``burst.train_duration_s`` — burst-train stats, where a *train* is a
+  maximal run of sends separated by gaps ≤ ``train_gap_s`` (back-to-
+  back line-rate emission; QUIC Steps uses the same construction to
+  compare pacer implementations);
+* ``burst.pacing_delay_s`` — per-packet pacing delay (enqueue → wire)
+  histogram, the paper's pacing-latency term;
+* windowed exact p50/p99 of gaps and pacing delays via the shared
+  nearest-rank helper, for heartbeats and the SLO watchdog.
+
+Everything is observe-only and deterministic: fixed-bucket histograms
+(no P² adaptivity — identical inputs give identical state), no
+randomness, no component mutation, so golden fingerprints are
+unaffected by enabling it. All instruments live in the session's
+:class:`~repro.obs.registry.MetricRegistry`, so JSONL/Prometheus
+export and ``repro trace`` pick them up with zero extra wiring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.obs.quantiles import percentiles
+from repro.obs.registry import MetricRegistry
+
+__all__ = [
+    "BurstAnalyzer",
+    "DEFAULT_TRAIN_GAP_S",
+    "IPG_BUCKETS_S",
+    "TRAIN_SIZE_BUCKETS",
+    "TRAIN_DURATION_BUCKETS_S",
+    "PACING_DELAY_BUCKETS_S",
+]
+
+#: a gap longer than this closes the current burst train. 2 ms is
+#: ~1/3 of a 60 fps frame interval and well above back-to-back socket
+#: writes, so trains capture "burst emitted at line rate" rather than
+#: "packets of the same frame".
+DEFAULT_TRAIN_GAP_S = 0.002
+
+#: inter-packet-gap buckets (seconds): 100 us resolution at the bottom
+#: where pacing differences live, stretching to one frame interval.
+IPG_BUCKETS_S = (0.0001, 0.00025, 0.0005, 0.001, 0.002, 0.004,
+                 0.008, 0.0167, 0.033, 0.1)
+
+#: burst-train size buckets (packets). ACE's token bucket caps trains
+#: near bucket_bytes/packet_bytes, default 10 packets — the layout
+#: brackets that regime.
+TRAIN_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0)
+
+#: burst-train duration buckets (seconds).
+TRAIN_DURATION_BUCKETS_S = (0.0005, 0.001, 0.002, 0.004, 0.008,
+                            0.0167, 0.033, 0.1)
+
+#: pacing-delay buckets (seconds): finer than the generic latency
+#: buckets at the low end — a healthy pacer keeps delays in the
+#: low milliseconds and the tail is the whole story.
+PACING_DELAY_BUCKETS_S = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                          0.05, 0.1, 0.25, 0.5, 1.0)
+
+#: recent-window ring size for exact windowed quantiles. 2048 packets
+#: is ~1 s of wire time at 20 Mbps with 1200 B packets.
+DEFAULT_WINDOW = 2048
+
+
+class BurstAnalyzer:
+    """Streaming burstiness statistics over the packet wire hook.
+
+    One instance per session, owned by :class:`~repro.obs.recorder.
+    Telemetry`; ``on_packet`` is called from the sender's
+    packet-leaves-pacer hook with the wire timestamp, size, and the
+    pacing delay the pacer measured for that packet.
+    """
+
+    __slots__ = ("registry", "train_gap_s",
+                 "_h_ipg", "_h_train_packets", "_h_train_bytes",
+                 "_h_train_duration", "_h_pacing",
+                 "_c_packets", "_c_trains",
+                 "_g_last_train_packets", "_g_last_train_bytes",
+                 "_last_t", "_train_start", "_train_last",
+                 "_train_packets", "_train_bytes",
+                 "_recent_gaps", "_recent_pacing")
+
+    def __init__(self, registry: MetricRegistry, *,
+                 train_gap_s: float = DEFAULT_TRAIN_GAP_S,
+                 window: int = DEFAULT_WINDOW) -> None:
+        self.registry = registry
+        self.train_gap_s = train_gap_s
+        self._h_ipg = registry.histogram(
+            "burst.ipg_s", buckets=IPG_BUCKETS_S,
+            help="Inter-packet gap on the wire (seconds)")
+        self._h_train_packets = registry.histogram(
+            "burst.train_packets", buckets=TRAIN_SIZE_BUCKETS,
+            help="Packets per burst train (gap <= train_gap_s)")
+        self._h_train_bytes = registry.histogram(
+            "burst.train_bytes",
+            buckets=tuple(b * 1200.0 for b in TRAIN_SIZE_BUCKETS),
+            help="Bytes per burst train")
+        self._h_train_duration = registry.histogram(
+            "burst.train_duration_s", buckets=TRAIN_DURATION_BUCKETS_S,
+            help="First-to-last wire time of a burst train (seconds)")
+        self._h_pacing = registry.histogram(
+            "burst.pacing_delay_s", buckets=PACING_DELAY_BUCKETS_S,
+            help="Per-packet pacing delay, enqueue to wire (seconds)")
+        # record=False: these bump per packet / per train — aggregate
+        # only, like the histograms, so the event log and flight ring
+        # keep their span-level signal-to-noise.
+        self._c_packets = registry.counter(
+            "burst.packets", record=False,
+            help="Packets seen by the burst analyzer")
+        self._c_trains = registry.counter(
+            "burst.trains", record=False,
+            help="Completed burst trains")
+        self._g_last_train_packets = registry.gauge(
+            "burst.last_train_packets", record=False,
+            help="Size of the most recently completed burst train")
+        self._g_last_train_bytes = registry.gauge(
+            "burst.last_train_bytes", record=False,
+            help="Bytes in the most recently completed burst train")
+        self._last_t: Optional[float] = None
+        self._train_start = 0.0
+        self._train_last = 0.0
+        self._train_packets = 0
+        self._train_bytes = 0.0
+        self._recent_gaps: Deque[float] = deque(maxlen=window)
+        self._recent_pacing: Deque[float] = deque(maxlen=window)
+
+    # -- feeding ---------------------------------------------------------
+
+    def on_packet(self, now: float, size_bytes: float,
+                  pacing_delay: Optional[float] = None) -> None:
+        """Record one wire emission at time ``now`` (hot path)."""
+        self._c_packets.inc()
+        if pacing_delay is not None:
+            self._h_pacing.observe(pacing_delay)
+            self._recent_pacing.append(pacing_delay)
+        if self._last_t is None:
+            self._train_start = now
+            self._train_packets = 1
+            self._train_bytes = float(size_bytes)
+        else:
+            gap = now - self._last_t
+            self._h_ipg.observe(gap)
+            self._recent_gaps.append(gap)
+            if gap > self.train_gap_s:
+                self._close_train()
+                self._train_start = now
+                self._train_packets = 1
+                self._train_bytes = float(size_bytes)
+            else:
+                self._train_packets += 1
+                self._train_bytes += float(size_bytes)
+        self._last_t = now
+        self._train_last = now
+
+    def flush(self) -> None:
+        """Close the in-progress train (end of session)."""
+        if self._train_packets:
+            self._close_train()
+            self._train_packets = 0
+            self._train_bytes = 0.0
+
+    def _close_train(self) -> None:
+        self._h_train_packets.observe(float(self._train_packets))
+        self._h_train_bytes.observe(self._train_bytes)
+        self._h_train_duration.observe(self._train_last - self._train_start)
+        self._c_trains.inc()
+        self._g_last_train_packets.set(float(self._train_packets))
+        self._g_last_train_bytes.set(self._train_bytes)
+
+    # -- reading ---------------------------------------------------------
+
+    def ipg_percentiles(self, pcts=(50.0, 99.0)):
+        """Windowed exact inter-packet-gap percentiles."""
+        return percentiles(self._recent_gaps, pcts)
+
+    def pacing_percentiles(self, pcts=(50.0, 99.0)):
+        """Windowed exact pacing-delay percentiles."""
+        return percentiles(self._recent_pacing, pcts)
+
+    def summary(self) -> dict:
+        """Point-in-time digest for heartbeats and CLI reports."""
+        ipg_p50, ipg_p99 = self.ipg_percentiles()
+        pace_p50, pace_p99 = self.pacing_percentiles()
+        trains = self._h_train_packets
+        return {
+            "packets": int(self._c_packets.value),
+            "trains": int(self._c_trains.value),
+            "mean_train_packets": (trains.sum / trains.count
+                                   if trains.count else None),
+            "ipg_p50_ms": None if ipg_p50 is None else ipg_p50 * 1e3,
+            "ipg_p99_ms": None if ipg_p99 is None else ipg_p99 * 1e3,
+            "pacing_p50_ms": None if pace_p50 is None else pace_p50 * 1e3,
+            "pacing_p99_ms": None if pace_p99 is None else pace_p99 * 1e3,
+        }

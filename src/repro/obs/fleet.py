@@ -266,6 +266,9 @@ class LiveFleetLog:
         self.run_dir = Path(run_dir) if run_dir is not None else None
         self.heartbeats = 0
         self._started = time.monotonic()
+        #: wall-clock (epoch) start stamp, for the summary — elapsed_s
+        #: stays on the monotonic clock.
+        self.started_unix = time.time()
         self._log_path: Optional[Path] = None
         if self.run_dir is not None:
             self.run_dir.mkdir(parents=True, exist_ok=True)
@@ -297,6 +300,8 @@ class LiveFleetLog:
         """Write ``summary.json`` (when a run dir exists); returns it."""
         summary = {"kind": "live-run",
                    "wall_s": round(self.elapsed_s, 6),
+                   "started_unix": round(self.started_unix, 3),
+                   "ended_unix": round(self.started_unix + self.elapsed_s, 3),
                    "heartbeats": self.heartbeats, **summary}
         if self.run_dir is not None:
             (self.run_dir / "summary.json").write_text(

@@ -1,0 +1,115 @@
+"""Shared deterministic quantile helpers for reporting paths.
+
+One implementation of the nearest-rank percentile used everywhere a
+recent-window sample ring is summarised for humans or gates: the live
+fleet heartbeats (``repro.live.server``), pacer-stats percentiles in
+per-session heartbeat rows, the ``check_perf.py --live-load`` gate,
+the burst analyzer (``repro.obs.burst``), the SLO watchdog
+(``repro.obs.slo``) and the autoscale probe — previously three
+hand-rolled copies with subtly different empty-input behaviour.
+
+Two deliberate non-users:
+
+* ``repro.rtc.metrics.percentile`` is numpy-interpolated and feeds the
+  committed result schema — changing it would shift every reported
+  latency table.
+* ``repro.transport.playout._tracked_percentile`` is a *controller*
+  input (its floor-index convention is part of the simulated system,
+  protected by golden fingerprints), not a reporting statistic.
+
+Everything here is pure Python and allocation-light: no numpy, so it
+is importable from the live hot path and from ``scripts/check_perf.py``
+without dragging in the analysis stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "clean_samples",
+    "percentile",
+    "percentiles",
+    "histogram_quantile",
+]
+
+
+def clean_samples(values: Iterable[Optional[float]]) -> List[float]:
+    """Materialise ``values`` dropping ``None`` and NaN entries.
+
+    Infinities are kept: a +inf pacing delay is a real (terrible)
+    observation, whereas NaN means "no measurement".
+    """
+    out: List[float] = []
+    for v in values:
+        if v is None:
+            continue
+        f = float(v)
+        if math.isnan(f):
+            continue
+        out.append(f)
+    return out
+
+
+def percentiles(values: Iterable[Optional[float]],
+                pcts: Sequence[float]) -> Tuple[Optional[float], ...]:
+    """Nearest-rank percentiles of an iterable (``None`` when empty).
+
+    The rank convention is ``round(p/100 * (n-1))`` clamped to the
+    sample range — exactly what the live supervisor has always
+    reported, so fleet pacing p50/p99 numbers are unchanged by the
+    dedupe. ``None``/NaN inputs are skipped rather than poisoning the
+    sort (3.11+ ``sorted`` raises on NaN comparisons only sometimes,
+    which is worse than either behaviour).
+    """
+    ordered = sorted(clean_samples(values))
+    n = len(ordered)
+    if n == 0:
+        return tuple(None for _ in pcts)
+    out = []
+    for pct in pcts:
+        rank = max(0, min(n - 1, int(round(pct / 100.0 * (n - 1)))))
+        out.append(ordered[rank])
+    return tuple(out)
+
+
+def percentile(values: Iterable[Optional[float]],
+               pct: float) -> Optional[float]:
+    """Single nearest-rank percentile (``None`` when empty)."""
+    return percentiles(values, (pct,))[0]
+
+
+def histogram_quantile(cumulative: Sequence[Tuple[float, int]],
+                       q: float) -> Optional[float]:
+    """Quantile estimate from cumulative fixed-bucket counts.
+
+    ``cumulative`` is the ``(upper_bound, cumulative_count)`` list a
+    :class:`repro.obs.registry.Histogram` exports (last bound +inf),
+    ``q`` in percent. Linear interpolation inside the winning bucket,
+    Prometheus ``histogram_quantile`` style, hence deterministic for a
+    given bucket layout. Returns ``None`` when the histogram is empty;
+    a quantile landing in the +inf overflow bucket returns the largest
+    finite bound (the estimate is saturated, not unbounded).
+    """
+    if not cumulative:
+        return None
+    total = cumulative[-1][1]
+    if total <= 0:
+        return None
+    target = (max(0.0, min(100.0, q)) / 100.0) * total
+    prev_bound = 0.0
+    prev_count = 0
+    largest_finite = 0.0
+    for bound, count in cumulative:
+        if math.isfinite(bound):
+            largest_finite = bound
+        if count >= target and count > prev_count:
+            if not math.isfinite(bound):
+                return largest_finite
+            span = count - prev_count
+            frac = (target - prev_count) / span if span > 0 else 1.0
+            return prev_bound + (bound - prev_bound) * frac
+        prev_bound = bound if math.isfinite(bound) else prev_bound
+        prev_count = count
+    return largest_finite

@@ -19,11 +19,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.burst import BurstAnalyzer
 from repro.obs.registry import MetricRegistry
 from repro.obs.spans import SpanBook
 
 if TYPE_CHECKING:
     from repro.live.clock import Clock, ScheduledCall
+    from repro.obs.slo import SloRule, SloWatchdog
 
 #: default flight-recorder depth (records, not seconds).
 DEFAULT_FLIGHT_CAPACITY = 512
@@ -91,7 +93,7 @@ class Telemetry:
     def __init__(self, clock: Optional["Clock"] = None,
                  flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
                  tick_interval: Optional[float] = DEFAULT_TICK_INTERVAL_S,
-                 keep_events: bool = True) -> None:
+                 keep_events: bool = True, burst: bool = True) -> None:
         self.clock = clock
         self.tick_interval = tick_interval
         self.keep_events = keep_events
@@ -100,6 +102,13 @@ class Telemetry:
         self.events: list[TelemetryRecord] = []
         self.flight = FlightRecorder(flight_capacity)
         self._tick_handle: Optional["ScheduledCall"] = None
+        #: streaming burstiness analyzer, fed by :meth:`packet_wire`.
+        #: Observe-only (fixed-bucket histograms in this registry), so
+        #: it rides along whenever telemetry itself is on.
+        self.burst: Optional[BurstAnalyzer] = (
+            BurstAnalyzer(self.registry) if burst else None)
+        #: optional SLO watchdog evaluated on the telemetry tick.
+        self.watchdog: Optional["SloWatchdog"] = None
         self._frames_encoded = self.registry.counter(
             "frames.encoded", help="Frames produced by the encoder")
         self._frames_displayed = self.registry.counter(
@@ -140,8 +149,37 @@ class Telemetry:
 
     def _tick(self) -> None:
         self.registry.sample_all()
+        if self.watchdog is not None:
+            self.watchdog.evaluate(self.now)
         self._tick_handle = self.clock.call_later(
             self.tick_interval, self._tick, name="obs.tick")
+
+    # ------------------------------------------------------------------
+    # SLO watchdog
+    # ------------------------------------------------------------------
+    def attach_watchdog(self, rules: Optional[list["SloRule"]] = None, *,
+                        pacing_p99_s: float = 0.25) -> "SloWatchdog":
+        """Attach an SLO watchdog evaluated on every telemetry tick.
+
+        Default rules watch the burst analyzer's pacing-delay tail and
+        pacer-backlog drift (:func:`repro.obs.slo.session_slo_rules`).
+        The watchdog publishes its ``slo.*`` mirror instruments into
+        this registry, and every firing/cleared transition lands in the
+        event log and flight ring as an ``slo.alert`` annotation.
+        """
+        from repro.obs.slo import SloWatchdog, session_slo_rules
+
+        if rules is None:
+            rules = session_slo_rules(pacing_p99_s=pacing_p99_s)
+
+        def _on_alert(event: dict) -> None:
+            fields = {k: v for k, v in event.items() if k != "kind"}
+            self.annotate("slo.alert", **fields)
+
+        self.watchdog = SloWatchdog(rules, source=self.registry,
+                                    publish=self.registry,
+                                    on_alert=_on_alert)
+        return self.watchdog
 
     # ------------------------------------------------------------------
     # recording
@@ -182,12 +220,15 @@ class Telemetry:
             if pacing is not None:
                 self._pacing_hist.observe(pacing)
 
-    def packet_wire(self, frame_id: int, size_bytes: int) -> None:
+    def packet_wire(self, frame_id: int, size_bytes: int,
+                    pacing_delay: Optional[float] = None) -> None:
         """A fresh media packet left the pacer onto the wire.
 
         Brackets the span's ``wire_first``/``wire_last`` stamps and logs
         one ``wire`` record per packet — the per-packet send timeline
-        the flight recorder replays around a violation.
+        the flight recorder replays around a violation. ``pacing_delay``
+        is the enqueue-to-wire residence the pacer measured for this
+        packet; it and the wire timestamp feed the burst analyzer.
         """
         now = self.now
         span = self.spans.spans.get(frame_id)
@@ -198,6 +239,8 @@ class Telemetry:
         span.stage("wire_last", now)
         self.record("span", "wire", at=now, frame_id=frame_id,
                     size=size_bytes)
+        if self.burst is not None:
+            self.burst.on_packet(now, size_bytes, pacing_delay)
 
     # ------------------------------------------------------------------
     # views

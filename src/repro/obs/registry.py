@@ -125,22 +125,29 @@ class MetricRegistry:
         self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str, help: str = "",
-                labels: Optional[dict] = None) -> Counter:
+                labels: Optional[dict] = None,
+                record: bool = True) -> Counter:
+        """``record=False`` registers a hot-path counter whose bumps are
+        aggregated only (like histogram observations) instead of landing
+        one event per ``inc`` in the log and flight ring."""
         c = self.counters.get(name)
         if c is None:
-            c = self.counters[name] = Counter(name, self._record,
-                                              help=help, labels=labels)
+            c = self.counters[name] = Counter(
+                name, self._record if record else None,
+                help=help, labels=labels)
         elif help and not c.help:
             c.help = help
         return c
 
     def gauge(self, name: str,
               sample_fn: Optional[Callable[[], float]] = None,
-              help: str = "", labels: Optional[dict] = None) -> Gauge:
+              help: str = "", labels: Optional[dict] = None,
+              record: bool = True) -> Gauge:
         g = self.gauges.get(name)
         if g is None:
-            g = self.gauges[name] = Gauge(name, self._record, sample_fn,
-                                          help=help, labels=labels)
+            g = self.gauges[name] = Gauge(
+                name, self._record if record else None, sample_fn,
+                help=help, labels=labels)
         else:
             if sample_fn is not None:
                 g.sample_fn = sample_fn

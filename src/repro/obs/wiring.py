@@ -89,6 +89,20 @@ def instrument_stack(telemetry: "Telemetry", *,
         registry.gauge("ace.decisions",
                        sample_fn=lambda a=ace_n: len(a.decisions),
                        help="ACE-N control decisions recorded so far")
+        # Burstiness-control view (the paper's §4 quantities): how much
+        # burst allowance the bucket grants beyond what the network is
+        # currently absorbing, and how far the estimated queue sits
+        # above the decrease threshold T — positive excess is exactly
+        # what the queue-threshold rule shrinks the bucket by.
+        registry.gauge(
+            "ace.bucket_minus_queue_bytes",
+            sample_fn=lambda a=ace_n: a.bucket_bytes - _est_queue_bytes(a),
+            help="Token-bucket size minus estimated in-network queue")
+        registry.gauge(
+            "ace.threshold_excess_bytes",
+            sample_fn=lambda a=ace_n: max(
+                0.0, _est_queue_bytes(a) - a.config.threshold_bytes),
+            help="Estimated queue bytes above the ACE threshold T")
     if link is not None:
         registry.gauge("link.queue_bytes",
                        sample_fn=lambda l=link: l.queued_bytes,

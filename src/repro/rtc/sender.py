@@ -336,7 +336,10 @@ class Sender:
             if metrics is not None:
                 metrics.pacer_last_exit = now
             if self.telemetry is not None and packet.frame_id >= 0:
-                self.telemetry.packet_wire(packet.frame_id, packet.size_bytes)
+                enq = packet.t_enqueue_pacer
+                self.telemetry.packet_wire(
+                    packet.frame_id, packet.size_bytes,
+                    None if enq is None else now - enq)
         self._orig_send_fn(packet)
 
     # ------------------------------------------------------------------

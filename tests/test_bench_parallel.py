@@ -146,6 +146,32 @@ class TestEnvIsolation:
         [b] = ParallelRunner(jobs=1).run([instrumented])
         assert canonical_metrics_json(a) == canonical_metrics_json(b)
 
+    def test_slo_cell_attaches_alert_summary_and_bypasses_cache(
+            self, traces, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, enabled=True)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        task = GridTask(baseline="ace", trace=traces[0], seed=3,
+                        duration=DURATION, slo=True)
+        assert task.instrumented
+        [m] = runner.run([task])
+        assert cache.hits == cache.misses == cache.stores == 0
+        summary = m.slo_alerts
+        assert summary["rules"] == 2
+        assert summary["evaluations"] > 0
+        assert isinstance(summary["events"], list)
+        # Watchdog cells stay observationally identical to plain runs.
+        [plain] = ParallelRunner(jobs=1).run([
+            GridTask(baseline="ace", trace=traces[0], seed=3,
+                     duration=DURATION)])
+        assert canonical_metrics_json(m) == canonical_metrics_json(plain)
+
+    def test_slo_summary_survives_worker_pickling(self, traces):
+        task = GridTask(baseline="cbr", trace=traces[0], seed=3,
+                        duration=DURATION, slo=True)
+        [m] = ParallelRunner(jobs=2).run([task])
+        assert hasattr(m, "slo_alerts")
+        assert m.slo_alerts["rules"] == 2
+
 
 class TestResultCache:
     def test_cache_hit_returns_equal_metrics_without_rerun(self, traces,

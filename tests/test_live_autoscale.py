@@ -1,0 +1,91 @@
+"""Autoscale ceiling probe: ascent/bisect logic on a synthetic box.
+
+The real probe runs live fleets; these tests inject a ``prober`` with a
+known capacity so the search logic is exercised deterministically and
+in microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.live.autoscale import AutoscaleConfig, _resolution, run_autoscale
+
+
+def capacity_prober(capacity: int):
+    """A box that sustains exactly ``capacity`` sessions."""
+    calls = []
+
+    def probe(sessions: int, cfg: AutoscaleConfig) -> dict:
+        calls.append(sessions)
+        ok = sessions <= capacity
+        return {"sessions": sessions, "ok": ok,
+                "failed": 0 if ok else 1, "completed": sessions,
+                "pacing_p99_ms": 10.0 if ok else 900.0,
+                "cpu_total_s": None, "rss_mb": None, "wall_s": 0.0}
+
+    probe.calls = calls
+    return probe
+
+
+def test_converges_onto_capacity_within_resolution():
+    probe = capacity_prober(23)
+    result = run_autoscale(
+        AutoscaleConfig(start=2, max_sessions=64), prober=probe)
+    assert result["converged"] is True
+    assert result["at_cap"] is False
+    ceiling = result["ceiling_sessions"]
+    assert ceiling <= 23
+    assert 23 - ceiling <= _resolution(ceiling)
+    # Ascent was geometric: 2, 4, 8, 16, 32(TRIP), then bisection.
+    assert probe.calls[:5] == [2, 4, 8, 16, 32]
+    assert result["rounds"][-1]["sessions"] == probe.calls[-1]
+
+
+def test_reports_at_cap_when_box_never_trips():
+    probe = capacity_prober(10_000)
+    result = run_autoscale(
+        AutoscaleConfig(start=2, max_sessions=16), prober=probe)
+    assert result["ceiling_sessions"] == 16
+    assert result["at_cap"] is True
+    assert result["converged"] is False
+    assert max(probe.calls) == 16
+
+
+def test_first_round_failure_means_zero_ceiling():
+    probe = capacity_prober(0)
+    result = run_autoscale(
+        AutoscaleConfig(start=4, max_sessions=16), prober=probe)
+    assert result["ceiling_sessions"] == 0
+    assert result["converged"] is False
+    assert result["sessions_per_core"] == 0.0
+
+
+def test_default_start_is_core_count():
+    probe = capacity_prober(10_000)
+    run_autoscale(AutoscaleConfig(start=0, max_sessions=4), prober=probe)
+    cores = os.cpu_count() or 1
+    assert probe.calls[0] == min(cores, 4)
+
+
+def test_artifact_written_and_loadable(tmp_path):
+    probe = capacity_prober(6)
+    out = tmp_path / "nested" / "ceiling.json"
+    result = run_autoscale(
+        AutoscaleConfig(start=2, max_sessions=16), prober=probe,
+        artifact_path=str(out))
+    assert result["artifact"] == str(out)
+    data = json.loads(out.read_text())
+    assert data["kind"] == "live-autoscale"
+    assert data["ceiling_sessions"] == result["ceiling_sessions"]
+    assert data["rounds"]
+    assert "load_kwargs" not in data["config"]
+
+
+def test_resolution_scales_with_ceiling():
+    assert _resolution(0) == 1
+    assert _resolution(7) == 1
+    assert _resolution(8) == 1
+    assert _resolution(16) == 2
+    assert _resolution(100) == 12

@@ -82,6 +82,57 @@ def test_prometheus_rollup_is_deterministic():
     assert prometheus_rollup(build()) == prometheus_rollup(build())
 
 
+def test_prometheus_rollup_empty_and_empty_shard():
+    # No shards at all: a valid (blank) exposition, not a crash.
+    assert prometheus_rollup({}) == "\n"
+    # An empty registry among real shards contributes no series but
+    # does not suppress the others'.
+    a = MetricRegistry()
+    a.counter("x.sent").inc(2)
+    text = prometheus_rollup({"s0": a, "empty": MetricRegistry()})
+    assert 'repro_x_sent_total{session="s0"} 2.0' in text
+    assert 'session="empty"' not in text
+
+
+def test_prometheus_rollup_escapes_session_labels():
+    reg = MetricRegistry()
+    reg.counter("x.sent").inc(1)
+    key = 'we"ird\\lab\nel'
+    text = prometheus_rollup({key: reg})
+    # Exposition-format escapes: backslash, quote, newline.
+    assert r'session="we\"ird\\lab\nel"' in text
+    # The sample stayed on one physical line (no raw newline leaked).
+    line = next(l for l in text.splitlines()
+                if l.startswith("repro_x_sent_total{"))
+    assert line.endswith("} 1.0")
+
+
+def test_prometheus_rollup_duplicate_family_across_shards():
+    # Same family in many shards: one header, one sample per shard,
+    # help text taken from the first shard (sorted order) that has one.
+    a, b, c = MetricRegistry(), MetricRegistry(), MetricRegistry()
+    a.counter("x.sent")                      # no help
+    b.counter("x.sent", help="from b").inc(1)
+    c.counter("x.sent", help="from c").inc(2)
+    h = MetricRegistry()
+    h.histogram("x.delay", buckets=(0.1,)).observe(0.05)
+    h2 = MetricRegistry()
+    h2.histogram("x.delay", buckets=(0.1,)).observe(0.2)
+    text = prometheus_rollup({"s2": c, "s1": b, "s0": a,
+                              "h0": h, "h1": h2})
+    assert text.count("# TYPE repro_x_sent_total counter") == 1
+    assert text.count("# HELP repro_x_sent_total") == 1
+    assert "# HELP repro_x_sent_total from b" in text
+    for key, value in (("s0", "0.0"), ("s1", "1.0"), ("s2", "2.0")):
+        assert f'repro_x_sent_total{{session="{key}"}} {value}' in text
+    # Histogram family renders per-shard bucket/sum/count series under
+    # one header.
+    assert text.count("# TYPE repro_x_delay histogram") == 1
+    assert 'repro_x_delay_bucket{le="0.1",session="h0"} 1' in text
+    assert 'repro_x_delay_bucket{le="0.1",session="h1"} 0' in text
+    assert 'repro_x_delay_count{session="h1"} 1' in text
+
+
 # ---------------------------------------------------------------------------
 # fleets over real loopback sockets (~1 s wall each)
 # ---------------------------------------------------------------------------
@@ -111,8 +162,23 @@ def test_supervisor_runs_mixed_fleet_to_completion(tmp_path):
              if json.loads(line)["kind"] == "heartbeat"]
     assert beats and lines
     assert all("sessions" in b for b in beats)
-    assert json.loads((tmp_path / "summary.json").read_text())["kind"] == \
-        "live-run"
+    # Resource accounting rides every heartbeat: fleet RSS plus the
+    # per-session CPU attribution summed into cpu_total_s.
+    assert all("cpu_total_s" in b and "rss_mb" in b for b in beats)
+    assert beats[-1]["rss_mb"] > 0
+    assert any("cpu_s" in row
+               for b in beats for row in b["sessions"].values())
+    written = json.loads((tmp_path / "summary.json").read_text())
+    assert written["kind"] == "live-run"
+    # Wall-clock window and exit bookkeeping land in summary.json.
+    assert written["exit_reason"] == "completed"
+    assert written["ended_unix"] >= written["started_unix"] > 0
+    assert written["statuses"] == {"s0-ace": "completed",
+                                   "s1-webrtc-star": "completed",
+                                   "s2-ace": "completed"}
+    assert written["cpu_total_s"] > 0
+    assert written["rss_mb"] > 0
+    assert all(row["cpu_s"] is not None for row in written["per_session"])
 
 
 def _run_supervisor(supervisor):
@@ -206,6 +272,49 @@ def test_supervisor_graceful_stop_drains_fleet():
     assert statuses[1:] == ["skipped", "skipped"]
     assert records[0].metrics is not None
     assert records[0].metrics.duration < 5.0
+
+
+def test_supervisor_sigint_drain_records_exit_reason():
+    config = quick_load(sessions=2, mix=("ace",), duration=30.0)
+    supervisor = SessionSupervisor(build_load_specs(config),
+                                   heartbeat_interval=0.3)
+
+    async def go():
+        task = asyncio.ensure_future(supervisor.run())
+        await asyncio.sleep(0.6)
+        supervisor.request_stop()
+        return await asyncio.wait_for(task, timeout=10.0)
+
+    asyncio.run(go())
+    assert supervisor.summary["exit_reason"] == "sigint-drain"
+
+
+def test_supervisor_stall_trips_fleet_watchdog(tmp_path):
+    """Injected pacing stall in one session must fire the fleet SLO
+    rule, land in the fleet log, and roll up as the slo shard."""
+    from repro.obs.slo import fleet_slo_rules
+
+    config = quick_load(sessions=2, mix=("ace",), duration=2.5,
+                        slo=True, slo_pacing_p99_s=0.05,
+                        inject_stall_at=0.5, inject_stall_duration=1.5)
+    supervisor = SessionSupervisor(
+        build_load_specs(config), heartbeat_interval=0.3,
+        slo_rules=fleet_slo_rules(pacing_p99_s=0.05),
+        run_dir=str(tmp_path))
+    _run_supervisor(supervisor)
+    summary = supervisor.summary
+    assert summary["failed"] == 0
+    assert summary["slo"]["alerts"] >= 1
+    assert any(e["rule"] == "fleet-pacing-p99" and e["state"] == "firing"
+               for e in summary["slo"]["events"])
+    # Alert events streamed to the fleet log alongside heartbeats.
+    events = [json.loads(line)
+              for line in (tmp_path / "live.jsonl").read_text().splitlines()]
+    assert any(e.get("kind") == "slo-alert" for e in events)
+    # The watchdog's publish registry rolls up as its own shard.
+    text = supervisor.rollup()
+    assert 'repro_slo_alerts_total{session="slo"}' in text
+    assert 'repro_slo_breached_fleet_pacing_p99{session="slo"}' in text
 
 
 def test_supervisor_busy_stats_port_fails_clearly():

@@ -1,0 +1,109 @@
+"""Burst analyzer: train segmentation, histograms, hot-path hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import BurstAnalyzer, MetricRegistry
+from repro.obs.export import prometheus_snapshot
+
+
+def feed(analyzer: BurstAnalyzer, times, size=1200.0, pacing=None):
+    for i, t in enumerate(times):
+        delay = None if pacing is None else pacing[i]
+        analyzer.on_packet(t, size, delay)
+
+
+def test_train_segmentation_by_gap():
+    reg = MetricRegistry()
+    b = BurstAnalyzer(reg, train_gap_s=0.002)
+    # Two 3-packet trains separated by a 10 ms gap, then a singleton.
+    feed(b, [0.0, 0.001, 0.002, 0.012, 0.013, 0.014, 0.100])
+    b.flush()
+    assert int(reg.counters["burst.packets"].value) == 7
+    assert int(reg.counters["burst.trains"].value) == 3
+    h = reg.histograms["burst.train_packets"]
+    assert h.count == 3
+    assert h.sum == 7.0  # 3 + 3 + 1
+    assert reg.gauges["burst.last_train_packets"].value == 1.0
+    assert reg.gauges["burst.last_train_bytes"].value == 1200.0
+
+
+def test_flush_closes_open_train_and_is_idempotent():
+    reg = MetricRegistry()
+    b = BurstAnalyzer(reg)
+    feed(b, [0.0, 0.001])
+    assert int(reg.counters["burst.trains"].value) == 0
+    b.flush()
+    assert int(reg.counters["burst.trains"].value) == 1
+    b.flush()  # nothing left to close
+    assert int(reg.counters["burst.trains"].value) == 1
+
+
+def test_ipg_histogram_and_windowed_percentiles():
+    reg = MetricRegistry()
+    b = BurstAnalyzer(reg)
+    feed(b, [0.0, 0.0005, 0.0010, 0.0015, 0.0515])
+    # 4 gaps: three of 0.5 ms and one of 50 ms.
+    assert reg.histograms["burst.ipg_s"].count == 4
+    p50, p99 = b.ipg_percentiles()
+    assert p50 == pytest.approx(0.0005)
+    assert p99 == pytest.approx(0.05)
+
+
+def test_pacing_delay_feeds_histogram_only_when_measured():
+    reg = MetricRegistry()
+    b = BurstAnalyzer(reg)
+    feed(b, [0.0, 0.001, 0.002], pacing=[0.01, None, 0.03])
+    h = reg.histograms["burst.pacing_delay_s"]
+    assert h.count == 2
+    p50, p99 = b.pacing_percentiles()
+    assert p50 == 0.01 and p99 == 0.03
+
+
+def test_summary_shape_and_empty_state():
+    reg = MetricRegistry()
+    b = BurstAnalyzer(reg)
+    s = b.summary()
+    assert s["packets"] == 0 and s["trains"] == 0
+    assert s["mean_train_packets"] is None
+    assert s["ipg_p99_ms"] is None and s["pacing_p99_ms"] is None
+    feed(b, [0.0, 0.001, 0.010], pacing=[0.002, 0.002, 0.002])
+    b.flush()
+    s = b.summary()
+    assert s["packets"] == 3 and s["trains"] == 2
+    assert s["mean_train_packets"] == pytest.approx(1.5)
+    assert s["pacing_p50_ms"] == pytest.approx(2.0)
+
+
+def test_hot_path_never_feeds_the_record_hook():
+    """Per-packet counters/gauges must be aggregate-only: one record
+    per packet would flood the event log and the flight ring."""
+    records = []
+    reg = MetricRegistry(record=lambda kind, name, value:
+                         records.append((kind, name, value)))
+    b = BurstAnalyzer(reg)
+    feed(b, [0.0, 0.001, 0.050], pacing=[0.01, 0.01, 0.01])
+    b.flush()
+    assert records == []
+
+
+def test_window_ring_is_bounded():
+    reg = MetricRegistry()
+    b = BurstAnalyzer(reg, window=8)
+    feed(b, [i * 0.001 for i in range(100)])
+    assert len(b._recent_gaps) == 8
+    # Histogram still aggregates everything.
+    assert reg.histograms["burst.ipg_s"].count == 99
+
+
+def test_deterministic_snapshot_for_identical_input():
+    def build():
+        reg = MetricRegistry()
+        b = BurstAnalyzer(reg)
+        feed(b, [0.0, 0.0004, 0.003, 0.0031, 0.020],
+             pacing=[0.001, 0.002, 0.003, 0.004, 0.005])
+        b.flush()
+        return prometheus_snapshot(reg)
+
+    assert build() == build()

@@ -1,0 +1,97 @@
+"""Shared quantile helpers: the one nearest-rank implementation.
+
+These helpers replaced three hand-rolled percentile copies (live
+supervisor, fleet heartbeats, check_perf --live-load), so the rank
+convention here is contractual: changing it silently shifts every
+reported fleet pacing number.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import clean_samples, histogram_quantile, percentile, \
+    percentiles
+from repro.obs.registry import Histogram
+
+
+# ---------------------------------------------------------------------------
+# clean_samples
+# ---------------------------------------------------------------------------
+def test_clean_samples_drops_none_and_nan_keeps_inf():
+    values = [1.0, None, float("nan"), math.inf, -2.5, float("-nan")]
+    assert clean_samples(values) == [1.0, math.inf, -2.5]
+
+
+def test_clean_samples_empty_and_all_invalid():
+    assert clean_samples([]) == []
+    assert clean_samples([None, float("nan")]) == []
+
+
+# ---------------------------------------------------------------------------
+# percentiles (nearest rank)
+# ---------------------------------------------------------------------------
+def test_percentiles_legacy_rank_convention():
+    # Exactly the convention the live supervisor always used:
+    # rank = round(p/100 * (n-1)) on the sorted sample.
+    values = list(range(100))
+    assert percentiles(values, (50, 99)) == (50, 98)
+    assert percentiles(values, (0, 100)) == (0, 99)
+
+
+def test_percentiles_empty_gives_none_per_pct():
+    assert percentiles([], (50, 90, 99)) == (None, None, None)
+    assert percentiles([None, float("nan")], (50,)) == (None,)
+
+
+def test_percentiles_singleton_and_unsorted_input():
+    assert percentiles([7.0], (1, 50, 99)) == (7.0, 7.0, 7.0)
+    assert percentiles([3.0, 1.0, 2.0], (0, 50, 100)) == (1.0, 2.0, 3.0)
+
+
+def test_percentiles_skips_nan_instead_of_poisoning_sort():
+    values = [5.0, float("nan"), 1.0, None, 3.0]
+    assert percentiles(values, (0, 50, 100)) == (1.0, 3.0, 5.0)
+
+
+def test_percentile_single():
+    assert percentile([], 99) is None
+    assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+
+# ---------------------------------------------------------------------------
+# histogram_quantile
+# ---------------------------------------------------------------------------
+def test_histogram_quantile_empty_histogram_is_none():
+    h = Histogram("x", buckets=(1.0, 2.0))
+    assert histogram_quantile(h.cumulative(), 99) is None
+    assert histogram_quantile([], 99) is None
+
+
+def test_histogram_quantile_interpolates_within_bucket():
+    h = Histogram("x", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 0.5, 1.5, 1.5):
+        h.observe(v)
+    # Median target = 2 of 4 samples -> upper edge of the first bucket.
+    assert histogram_quantile(h.cumulative(), 50) == pytest.approx(1.0)
+    # 75% target = 3 samples -> halfway through the (1, 2] bucket.
+    assert histogram_quantile(h.cumulative(), 75) == pytest.approx(1.5)
+
+
+def test_histogram_quantile_saturates_at_largest_finite_bound():
+    # Values past the top bucket must report the top bound, not +inf —
+    # the SLO watchdog compares this estimate against finite bounds.
+    h = Histogram("x", buckets=(0.5, 1.0))
+    for _ in range(10):
+        h.observe(9.0)
+    assert histogram_quantile(h.cumulative(), 99) == 1.0
+
+
+def test_histogram_quantile_clamps_q():
+    h = Histogram("x", buckets=(1.0, 2.0))
+    h.observe(0.5)
+    assert histogram_quantile(h.cumulative(), -5) is not None
+    assert histogram_quantile(h.cumulative(), 250) == \
+        histogram_quantile(h.cumulative(), 100)
