@@ -95,3 +95,51 @@ def compare_runs(results: Iterable[RunResult],
                 f"{r.loss_rate * 100:>7.2f}%{r.stall_rate * 100:>7.2f}%")
         lines.append("")
     return "\n".join(lines).rstrip()
+
+
+# ----------------------------------------------------------------------
+# time-series divergence (repro report --diff)
+# ----------------------------------------------------------------------
+def series_divergence_lines(candidate_dir, reference_dir, *,
+                            window_s: float = 1.0) -> list[str]:
+    """Per-shard max-divergence lines for two run directories.
+
+    Both run dirs must carry ``series/`` shards (recorded with
+    ``--series``); shards present in only one side are skipped. Each
+    common shard contributes one line naming the series and the time
+    window where the candidate diverged the most from the reference —
+    the "when", complementing the aggregate diff's "whether". Returns
+    ``[]`` when either side has no shards, so the diff degrades cleanly
+    on pre-series run dirs.
+    """
+    from pathlib import Path
+
+    from repro.obs.timeseries import load_shard, max_divergence_window
+
+    def shards(run_dir) -> dict:
+        series_dir = Path(run_dir) / "series"
+        if not series_dir.is_dir():
+            return {}
+        return {p.stem: p for p in sorted(series_dir.glob("*.json"))}
+
+    cand = shards(candidate_dir)
+    ref = shards(reference_dir)
+    lines: list[str] = []
+    for name in sorted(set(cand) & set(ref)):
+        try:
+            window = max_divergence_window(
+                load_shard(cand[name]), load_shard(ref[name]),
+                window_s=window_s)
+        except (ValueError, OSError, KeyError):
+            continue
+        if window is None:
+            continue
+        lines.append(
+            f"  {name}: max divergence in {window['series']} over "
+            f"t=[{window['start']:.2f}, {window['end']:.2f}]s "
+            f"(candidate mean {window['candidate_mean']:.6g} vs "
+            f"reference {window['reference_mean']:.6g}, "
+            f"normalized {window['divergence']:.3f})")
+    if lines:
+        lines.insert(0, "time-series divergence (worst window per shard):")
+    return lines

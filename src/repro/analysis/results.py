@@ -159,9 +159,10 @@ def canonical_metrics_json(metrics: SessionMetrics) -> str:
 
 
 def save_results(results: Iterable[RunResult], path: str | Path) -> None:
-    """Write results as a JSON list."""
+    """Write results as a JSON list (atomically — crash-safe run dirs)."""
+    from repro.obs.atomicio import atomic_write_text
     payload = [r.to_dict() for r in results]
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_results(path: str | Path) -> list[RunResult]:

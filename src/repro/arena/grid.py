@@ -83,6 +83,7 @@ def run_arena_grid(mixes: Sequence[str], traces: Sequence[BandwidthTrace],
                    verbose: bool = False,
                    window_s: float = 10.0,
                    discipline_params: Optional[dict] = None,
+                   series: bool = False,
                    ) -> dict[tuple, ArenaMetrics]:
     """Sweep a (mix x discipline x trace x seed) cube of arena cells.
 
@@ -93,6 +94,10 @@ def run_arena_grid(mixes: Sequence[str], traces: Sequence[BandwidthTrace],
     labels like ``"ace#1@droptail"``), and ``summary.json`` gains a
     ``fairness`` block (per-cell Jain index, worst-flow p95, per-flow
     convergence times) that ``repro report --diff`` gates on.
+    ``series=True`` records per-cell time series (arena gauges: per-flow
+    sent bytes, queue shares, router occupancy) and — with ``run_dir=``
+    — writes them as ``series/*.json`` shards; series cells bypass the
+    result cache like any other instrumented task.
     """
     from repro.analysis.cache import ResultCache
     from repro.bench.parallel import GridTask, ParallelRunner
@@ -116,6 +121,7 @@ def run_arena_grid(mixes: Sequence[str], traces: Sequence[BandwidthTrace],
             category=category, fps=fps, initial_bwe_bps=initial_bwe_bps,
             arena={"flows": flows, "discipline": discipline,
                    "discipline_params": dict(discipline_params or {})},
+            series=series,
         ))
         coords.append((mix, discipline, trace.name, seed))
     if len(set(coords)) != len(coords):
@@ -140,13 +146,16 @@ def run_arena_grid(mixes: Sequence[str], traces: Sequence[BandwidthTrace],
                        if cache_obj is not None else None),
             extra={"arena": True, "mixes": list(mixes),
                    "disciplines": list(disciplines),
-                   "window_s": window_s}))
+                   "window_s": window_s, "series": series}))
 
     metrics = runner.run(tasks, observer=observer)
     out: dict[tuple, ArenaMetrics] = dict(zip(coords, metrics))
 
     if observer is not None:
         from repro.analysis.results import RunResult
+        if series:
+            from repro.bench.parallel import write_series_shards
+            write_series_shards(observer.run_dir, tasks, metrics)
         results = []
         fairness_block: dict[str, dict] = {}
         for (mix, discipline, trace_name, seed), m in zip(coords, metrics):

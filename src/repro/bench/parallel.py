@@ -33,6 +33,7 @@ directory that ``repro report`` can roll up later.
 from __future__ import annotations
 
 import os
+import re
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from itertools import product
@@ -95,6 +96,15 @@ class GridTask:
     #: alert summaries land on the returned metrics as ``slo_alerts``.
     slo: bool = False
     slo_pacing_p99_s: float = 0.25
+    #: record a bounded time-series of every instrument (implies
+    #: telemetry); the columnar frame lands on the returned metrics as
+    #: ``series_frame`` (a :class:`~repro.obs.timeseries.SeriesFrame`).
+    series: bool = False
+    #: fault injection: ``(at_s, duration_s)`` pacing-stall drill —
+    #: clamp the pacer at its rate floor for the window. Instrumenting
+    #: A/B divergence runs; never cached (the result is not the
+    #: artifact other sweeps expect).
+    inject_stall: Optional[tuple] = None
     #: multi-flow arena cell: ``{"flows": [ArenaFlowSpec kwargs, ...],
     #: "discipline": name, "discipline_params": {...}}``. When set,
     #: ``baseline`` is a display label (the mix string) and the cell
@@ -136,7 +146,8 @@ class GridTask:
 
     @property
     def instrumented(self) -> bool:
-        return self.telemetry or self.audit or self.slo
+        return (self.telemetry or self.audit or self.slo or self.series
+                or self.inject_stall is not None)
 
 
 def _run_task(task: GridTask) -> SessionMetrics:
@@ -160,18 +171,28 @@ def _run_task(task: GridTask) -> SessionMetrics:
                 flows, task.trace, task.session_config(),
                 discipline=spec.get("discipline", "droptail"),
                 discipline_params=spec.get("discipline_params") or {})
+            recorder = None
+            if task.series:
+                recorder = session.enable_telemetry().attach_series()
             metrics = session.run()
+            if recorder is not None:
+                metrics.series_frame = recorder.frame(_series_meta(task))
             metrics.bandwidth_fn = None
             return metrics
         session = build_session(task.baseline, task.trace,
                                 task.session_config(),
                                 category=task.category, **task.build_kwargs)
         watchdog = None
-        if task.telemetry or task.slo:
+        recorder = None
+        if task.telemetry or task.slo or task.series:
             telemetry = session.enable_telemetry()
             if task.slo:
                 watchdog = telemetry.attach_watchdog(
                     pacing_p99_s=task.slo_pacing_p99_s)
+            if task.series:
+                recorder = telemetry.attach_series()
+        if task.inject_stall is not None:
+            _schedule_stall(session, *task.inject_stall)
         auditor = None
         if task.audit:
             from repro.audit import attach_audit
@@ -183,10 +204,39 @@ def _run_task(task: GridTask) -> SessionMetrics:
             # Plain attribute on the (unslotted) dataclass; survives the
             # pickle back to the parent like any other field.
             metrics.slo_alerts = watchdog.summary()
+        if recorder is not None:
+            # Same trick: SeriesFrame is a plain dataclass of lists.
+            metrics.series_frame = recorder.frame(_series_meta(task))
         metrics.bandwidth_fn = None
         return metrics
     finally:
         os.environ.update(saved)
+
+
+def _series_meta(task: GridTask) -> dict:
+    meta = {"baseline": task.baseline, "trace": task.trace.name,
+            "seed": task.session_config().seed, "category": task.category,
+            "mode": "arena" if task.arena is not None else "sim"}
+    if task.inject_stall is not None:
+        meta["inject_stall"] = list(task.inject_stall)
+    return meta
+
+
+def _schedule_stall(session, at: float, duration: float) -> None:
+    """Pacing-stall drill on a sim session: pin the pacer at its rate
+    floor for ``duration`` sim seconds (same mechanism as the CLI and
+    live injectors — clamp to 0 bps, re-arm every 50 ms so congestion-
+    control updates cannot lift the rate mid-stall)."""
+    loop = session.loop
+    pacer = session.sender.pacer
+    end = at + duration
+
+    def clamp() -> None:
+        pacer.set_pacing_rate(0.0)
+        if loop.now < end:
+            loop.call_later(0.05, clamp, "slo.stall")
+
+    loop.call_at(at, clamp, "slo.stall")
 
 
 def _run_cell(index: int, task: GridTask) -> tuple[int, SessionMetrics, int, float]:
@@ -287,6 +337,33 @@ class ParallelRunner:
         return self.cache.counters()
 
 
+def series_shard_name(key: tuple) -> str:
+    """Filesystem-safe shard label from a grid key, e.g.
+    ``('ace', 'const:20', 3, 'gaming')`` -> ``ace__const-20__s3__gaming``.
+    Arena cell labels (``arena:ace*2+webrtc-star@codel``) sanitize the
+    same way: anything outside ``[A-Za-z0-9._-]`` becomes ``-``."""
+    baseline, trace_name, seed, category = key
+    parts = [str(baseline), str(trace_name), f"s{seed}", str(category)]
+    return "__".join(re.sub(r"[^A-Za-z0-9._-]", "-", p) for p in parts)
+
+
+def write_series_shards(run_dir, tasks: Sequence[GridTask],
+                        metrics: Sequence[SessionMetrics]) -> list:
+    """Write each cell's recorded ``series_frame`` into
+    ``<run_dir>/series/<shard>.json`` (atomic). Returns written paths."""
+    from pathlib import Path
+    written = []
+    series_dir = Path(run_dir) / "series"
+    for task, m in zip(tasks, metrics):
+        frame = getattr(m, "series_frame", None)
+        if frame is None or not frame.t:
+            continue
+        path = series_dir / f"{series_shard_name(task.key())}.json"
+        frame.write(path)
+        written.append(path)
+    return written
+
+
 def make_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
               seeds: Sequence[int] = (3,),
               categories: Sequence[str] = ("gaming",),
@@ -319,6 +396,8 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
              discipline: str = "droptail",
              slo: bool = False,
              slo_pacing_p99_s: float = 0.25,
+             series: bool = False,
+             inject_stall: Optional[tuple] = None,
              ) -> dict[tuple, SessionMetrics]:
     """Run a (baseline x trace x seed x category) grid.
 
@@ -352,6 +431,13 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
     ``slo=True`` opts every cell into the burstiness SLO watchdog
     (see :mod:`repro.obs.slo`): cells run instrumented (bypassing the
     cache) and each result carries a ``slo_alerts`` summary dict.
+
+    ``series=True`` records a bounded time-series per cell (bypassing
+    the cache, like any instrumentation); with ``run_dir`` the shards
+    land under ``<run_dir>/series/`` for ``repro plot`` and the
+    ``repro report --diff`` divergence window. ``inject_stall=(at,
+    duration)`` runs the pacing-stall drill in every cell — the
+    injected-stall side of a divergence A/B pair.
     """
     if engine != "reference":
         build_kwargs = {**(build_kwargs or {}), "engine": engine}
@@ -367,6 +453,10 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
         for task in tasks:
             task.slo = True
             task.slo_pacing_p99_s = slo_pacing_p99_s
+    if series or inject_stall is not None:
+        for task in tasks:
+            task.series = series
+            task.inject_stall = inject_stall
     if runner is None:
         if cache is None and use_cache:
             cache = ResultCache()
@@ -383,7 +473,8 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
             cache_enabled=cache_obj is not None and cache_obj.enabled,
             cache_dir=(str(cache_obj.cache_dir)
                        if cache_obj is not None else None),
-            extra={"engine": engine, "discipline": discipline}))
+            extra={"engine": engine, "discipline": discipline,
+                   "series": series}))
 
     metrics = runner.run(tasks, observer=observer)
     out: dict[tuple, SessionMetrics] = {}
@@ -394,6 +485,8 @@ def run_grid(baselines: Sequence[str], traces: Sequence[BandwidthTrace],
                              "(trace names must be unique)")
         out[key] = m
 
+    if observer is not None and series:
+        write_series_shards(observer.run_dir, tasks, metrics)
     if observer is not None:
         from repro.analysis.results import RunResult
         observer.write_results([

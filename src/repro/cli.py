@@ -161,7 +161,8 @@ def _print_slo_summary(summary: dict) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.check or args.telemetry_out or args.slo or args.inject_stall:
+    if (args.check or args.telemetry_out or args.slo or args.inject_stall
+            or args.series_out):
         return _cmd_run_checked(args)
     runner = make_runner(args)
     [metrics] = runner.run([make_task(args.baseline, args)])
@@ -197,11 +198,11 @@ def _schedule_sim_stall(session, at: float, duration: float) -> None:
 
 
 def _cmd_run_checked(args: argparse.Namespace) -> int:
-    """``repro run --check`` / ``--telemetry-out`` / ``--slo``: in-process.
+    """``repro run --check``/``--telemetry-out``/``--slo``/``--series-out``.
 
-    Bypasses the parallel runner and the result cache — the auditor,
-    telemetry, and SLO watchdog must attach to the live session object,
-    and a cache hit would observe nothing.
+    In-process: bypasses the parallel runner and the result cache — the
+    auditor, telemetry, SLO watchdog, and series recorder must attach to
+    the live session object, and a cache hit would observe nothing.
     """
     trace = make_trace(args.trace, args.seed, args.duration + 10)
     config = SessionConfig(
@@ -215,12 +216,15 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
                             discipline=getattr(args, "discipline",
                                                DEFAULT_DISCIPLINE))
     telemetry = None
-    if args.telemetry_out or args.slo:
+    if args.telemetry_out or args.slo or args.series_out:
         telemetry = session.enable_telemetry()
     watchdog = None
     if args.slo:
         watchdog = telemetry.attach_watchdog(
             pacing_p99_s=args.slo_p99_ms / 1000.0)
+    recorder = None
+    if args.series_out:
+        recorder = telemetry.attach_series()
     stall_at, stall_dur = _parse_stall(args.inject_stall)
     if stall_at is not None:
         _schedule_sim_stall(session, stall_at, stall_dur)
@@ -239,6 +243,20 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
         jsonl, snapshot = write_export_dir(telemetry, args.telemetry_out)
         print(f"telemetry: {len(telemetry.events)} records -> {jsonl}, "
               f"snapshot -> {snapshot}")
+    if recorder is not None:
+        from pathlib import Path
+
+        from repro.bench.parallel import series_shard_name
+        frame = recorder.frame({
+            "baseline": args.baseline, "trace": args.trace,
+            "seed": args.seed, "category": args.category, "mode": "sim",
+        })
+        shard = series_shard_name(
+            (args.baseline, args.trace, args.seed, args.category))
+        path = Path(args.series_out) / "series" / f"{shard}.json"
+        frame.write(path)
+        print(f"series: {len(frame.t)} samples x {len(frame.series)} "
+              f"series -> {path}")
     if watchdog is not None:
         _print_slo_summary(watchdog.summary())
     if auditor is not None:
@@ -416,6 +434,7 @@ def cmd_load(args: argparse.Namespace) -> int:
         slo_pacing_p99_s=args.slo_p99_ms / 1000.0,
         inject_stall_at=stall_at,
         inject_stall_duration=stall_dur,
+        series=args.series,
     )
     trace_factory = None
     if args.trace is not None:
@@ -428,16 +447,40 @@ def cmd_load(args: argparse.Namespace) -> int:
           f"({','.join(mix)} round-robin), ramp {args.ramp:g}s, "
           f"{duration:g}s media each"
           + (" [soak: Ctrl-C drains the fleet]" if args.soak else ""))
+    echo = print
+    heartbeat_hook = None
+    if args.dash:
+        # Live ANSI dashboard fed by heartbeat records. On a TTY each
+        # heartbeat repaints in place (clear + color); piped/redirected
+        # output falls back to plain stacked frames so CI logs stay
+        # readable and the command still exits 0.
+        from repro.obs.dash import FleetDashboard
+        tty = sys.stdout.isatty()
+        dash = FleetDashboard(color=tty, clear=tty)
+        echo = None  # the dashboard replaces the heartbeat echo lines
+
+        def heartbeat_hook(record, _dash=dash, _tty=tty):
+            frame = _dash.update(record)
+            sys.stdout.write(frame if _tty else frame + "\n")
+            sys.stdout.flush()
+
     supervisor = run_load(config, trace_factory=trace_factory,
-                          run_dir=args.run_dir, echo=print)
+                          run_dir=args.run_dir, echo=echo,
+                          heartbeat_hook=heartbeat_hook)
     if supervisor.stats_addr is not None:
         host, port = supervisor.stats_addr
         print(f"stats: served fleet rollup on http://{host}:{port}/")
     if args.snapshot_out:
+        from repro.obs import atomic_write_text
         out = Path(args.snapshot_out)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(supervisor.rollup())
+        atomic_write_text(out, supervisor.rollup())
         print(f"snapshot -> {out}")
+    if args.series and args.run_dir is not None:
+        series_dir = Path(args.run_dir) / "series"
+        shards = sorted(series_dir.glob("*.json")) if series_dir.is_dir() \
+            else []
+        print(f"series: {len(shards)} shard(s) -> {series_dir} "
+              f"(render with `repro plot {args.run_dir}`)")
     summary = supervisor.summary
     rows = []
     for row in summary["per_session"]:
@@ -642,6 +685,115 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plot(args: argparse.Namespace) -> int:
+    """``repro plot``: render recorded series into paper-style figures.
+
+    Accepts a run directory (from ``grid --series --run-dir`` /
+    ``load --series --run-dir`` / ``run --series-out``), a ``series/``
+    directory, or one shard file, and writes a self-contained HTML
+    report (inline SVG, no external assets). Rendering is deterministic:
+    the same shards always produce byte-identical output.
+    """
+    from repro.analysis.figures import discover_shards, render_run
+
+    pairs = discover_shards(args.target)
+    if not pairs:
+        raise SystemExit(
+            f"no series shards under {args.target!r}; record some with "
+            "`repro run --series-out`, `repro grid --series --run-dir`, "
+            "or `repro load --series --run-dir`")
+    out = render_run(args.target, args.out, pixel_width=args.width)
+    print(f"plot: {len(pairs)} shard(s) -> {out}")
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch``: live dashboard over a Prometheus stats endpoint.
+
+    Polls the rollup served by ``repro load --stats-port`` (or any
+    ``repro_*`` exposition) and renders the fleet dashboard — sparkline
+    history per session, SLO highlighting. On a TTY each poll repaints
+    in place; otherwise frames are stacked as plain text and the command
+    still exits 0 (CI-safe). ``--frames N`` stops after N polls.
+    """
+    import time
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.obs.dash import FleetDashboard, record_from_prometheus
+
+    if args.url is not None:
+        url = args.url
+    elif args.stats_port is not None:
+        url = f"http://127.0.0.1:{args.stats_port}/"
+    else:
+        raise SystemExit("repro watch needs --url or --stats-port "
+                         "(point it at `repro load --stats-port`)")
+    tty = sys.stdout.isatty()
+    dash = FleetDashboard(color=tty, clear=tty)
+    polled = 0
+    failures = 0
+    try:
+        while args.frames <= 0 or polled < args.frames:
+            if polled:
+                time.sleep(args.interval)
+            try:
+                with urlopen(url, timeout=args.interval + 2.0) as resp:
+                    text = resp.read().decode("utf-8", "replace")
+            except (URLError, OSError, ValueError) as exc:
+                failures += 1
+                print(f"watch: {url} unreachable ({exc})")
+                if failures >= 3:
+                    return 1
+                polled += 1
+                continue
+            failures = 0
+            frame = dash.update(record_from_prometheus(text))
+            sys.stdout.write(frame if tty else frame + "\n")
+            sys.stdout.flush()
+            polled += 1
+    except KeyboardInterrupt:
+        pass
+    if tty:
+        sys.stdout.write("\n")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """``repro timeline``: per-frame lifecycle CSV, with blame columns.
+
+    Runs one session and flattens every captured frame into CSV rows of
+    lifecycle timestamps and derived latencies. By default the rows also
+    carry the pacer-blame breakdown (``blame_*`` columns — which
+    Algorithm 1 branch owned each frame's pacer residence, seconds per
+    category); ``--no-blame`` drops them. ``--out`` writes atomically,
+    otherwise the CSV streams to stdout.
+    """
+    from repro.analysis.timeline import to_csv
+
+    trace = make_trace(args.trace, args.seed, args.duration + 10)
+    config = SessionConfig(
+        duration=args.duration, seed=args.seed, fps=args.fps,
+        base_rtt=args.rtt / 1000.0, initial_bwe_bps=args.initial_bwe * 1e6,
+    )
+    session = build_session(args.baseline, trace, config,
+                            category=args.category,
+                            cc_override=args.cc, codec_override=args.codec,
+                            engine=getattr(args, "engine", "reference"),
+                            discipline=getattr(args, "discipline",
+                                               DEFAULT_DISCIPLINE))
+    metrics = session.run()
+    attribution = session.attribution() if args.blame else None
+    text = to_csv(metrics, args.out, attribution)
+    if args.out:
+        cols = len(text.splitlines()[0].split(","))
+        print(f"timeline: {len(metrics.frames)} frames x {cols} columns "
+              f"-> {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_grid(args: argparse.Namespace) -> int:
     """``repro grid``: run a baselines x traces x seeds sweep.
 
@@ -656,9 +808,13 @@ def cmd_grid(args: argparse.Namespace) -> int:
     traces = [make_trace(kind.strip(), args.seed, args.duration + 10)
               for kind in args.traces.split(",")]
     disciplines = [d.strip() for d in args.discipline.split(",")]
+    stall_at, stall_dur = _parse_stall(args.inject_stall)
     if args.arena is not None:
         # Arena sweep: mixes x disciplines x traces x seeds, per-flow
         # results plus a fairness block in the run summary.
+        if stall_at is not None:
+            raise SystemExit("--inject-stall targets single-flow cells; "
+                             "it cannot be combined with --arena")
         from repro.arena import run_arena_grid
         mixes = [m.strip() for m in args.arena.split(";")]
         results = run_arena_grid(
@@ -668,7 +824,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
             category=args.category,
             jobs=args.jobs, use_cache=args.cache,
             run_dir=args.run_dir, verbose=True,
-            window_s=args.window)
+            window_s=args.window, series=args.series)
         if args.run_dir is not None:
             print()
             print(report_run(args.run_dir))
@@ -697,7 +853,10 @@ def cmd_grid(args: argparse.Namespace) -> int:
                        engine=getattr(args, "engine", "reference"),
                        discipline=disciplines[0],
                        slo=args.slo,
-                       slo_pacing_p99_s=args.slo_p99_ms / 1000.0)
+                       slo_pacing_p99_s=args.slo_p99_ms / 1000.0,
+                       series=args.series,
+                       inject_stall=(None if stall_at is None
+                                     else (stall_at, stall_dur)))
     if args.run_dir is not None:
         print()
         print(report_run(args.run_dir))
@@ -863,6 +1022,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run with telemetry and write the JSONL event "
                             "log + Prometheus snapshot into DIR (disables "
                             "--jobs/--cache)")
+    p_run.add_argument("--series-out", default=None, dest="series_out",
+                       metavar="DIR",
+                       help="record bounded per-tick time series (gauges, "
+                            "counters, pacing quantiles) and write a "
+                            "DIR/series/*.json shard for `repro plot` "
+                            "(disables --jobs/--cache)")
     _add_slo_args(p_run)
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
@@ -998,6 +1163,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--snapshot-out", default=None, dest="snapshot_out",
                         metavar="FILE",
                         help="write the final Prometheus rollup to FILE")
+    p_load.add_argument("--series", action="store_true",
+                        help="record per-session time series on the "
+                             "telemetry tick; with --run-dir the shards "
+                             "land in DIR/series/ for `repro plot`")
+    p_load.add_argument("--dash", action="store_true",
+                        help="render a live ANSI dashboard (sparklines, "
+                             "SLO highlighting) on each heartbeat; "
+                             "repaints in place on a TTY, stacks plain "
+                             "frames otherwise")
     _add_slo_args(p_load)
     p_load.add_argument("--autoscale", action="store_true",
                         help="instead of one fixed fleet, probe the "
@@ -1111,8 +1285,61 @@ def build_parser() -> argparse.ArgumentParser:
                         dest="slo_p99_ms", metavar="MS",
                         help="pacing-delay p99 SLO bound in ms "
                              "(default 250)")
+    p_grid.add_argument("--series", action="store_true",
+                        help="record per-cell time series (instrumented: "
+                             "bypasses the cache); with --run-dir the "
+                             "shards land in DIR/series/ for `repro plot`")
+    p_grid.add_argument("--inject-stall", default=None, dest="inject_stall",
+                        metavar="AT[:DUR]",
+                        help="fault injection in every cell: pin the pacer "
+                             "at its rate floor from AT seconds for DUR "
+                             "seconds (default 1.0); pairs with --series "
+                             "to build A/B divergence fixtures")
     _add_common(p_grid)
     p_grid.set_defaults(func=cmd_grid)
+
+    p_plot = sub.add_parser(
+        "plot",
+        help="render recorded time-series shards into a self-contained "
+             "HTML report of paper-style figures")
+    p_plot.add_argument("target",
+                        help="run dir (grid/load --series), series/ dir, "
+                             "or one shard .json")
+    p_plot.add_argument("--out", default=None, metavar="FILE",
+                        help="output HTML path "
+                             "(default <run-dir>/report.html)")
+    p_plot.add_argument("--width", type=int, default=572, metavar="PX",
+                        help="data-area pixel width per figure; also the "
+                             "M4 downsampling budget (default 572)")
+    p_plot.set_defaults(func=cmd_plot)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live ANSI dashboard polling a Prometheus stats endpoint "
+             "(`repro load --stats-port`)")
+    p_watch.add_argument("--url", default=None,
+                         help="stats endpoint URL (overrides --stats-port)")
+    p_watch.add_argument("--stats-port", type=int, default=None,
+                         dest="stats_port", metavar="PORT",
+                         help="poll http://127.0.0.1:PORT/")
+    p_watch.add_argument("--interval", type=float, default=1.0,
+                         help="seconds between polls (default 1)")
+    p_watch.add_argument("--frames", type=int, default=0,
+                         help="stop after N dashboard frames "
+                              "(default 0: until Ctrl-C)")
+    p_watch.set_defaults(func=cmd_watch)
+
+    p_tl = sub.add_parser(
+        "timeline",
+        help="per-frame lifecycle CSV with pacer-blame columns")
+    p_tl.add_argument("--baseline", default="ace")
+    p_tl.add_argument("--out", default=None, metavar="FILE",
+                      help="write the CSV here (atomic); default stdout")
+    p_tl.add_argument("--no-blame", action="store_false", dest="blame",
+                      help="drop the blame_* columns (skip pacer-residence "
+                           "attribution)")
+    _add_common(p_tl)
+    p_tl.set_defaults(func=cmd_timeline)
 
     p_arena = sub.add_parser(
         "arena",

@@ -101,6 +101,10 @@ class LoadConfig:
     #: per-session CPU attribution at clock-callback boundaries; on by
     #: default — the wrapper is two ``process_time`` reads per callback.
     cpu_accounting: bool = True
+    #: record per-session time-series on the telemetry tick; shards land
+    #: under ``<run_dir>/series/<label>.json`` at teardown for
+    #: ``repro plot``.
+    series: bool = False
     #: fleet SLO watchdog: threshold rules over the fleet registry
     #: (pacing p99, failed sessions), evaluated every heartbeat,
     #: published as an ``slo`` rollup shard.
@@ -139,6 +143,7 @@ def build_load_specs(config: LoadConfig,
             queue_capacity_bytes=config.queue_capacity_bytes,
             drain=config.drain, shaped=config.shaped,
             telemetry=True, keep_telemetry_events=False,
+            series=config.series,
             pacer_stats_cap=config.pacer_stats_cap,
             cpu_accounting=config.cpu_accounting)
         if (config.inject_stall_at is not None
@@ -222,11 +227,17 @@ class SessionSupervisor:
                  echo: Optional[Callable[[str], None]] = None,
                  session_factory: Optional[
                      Callable[[SessionSpec], LiveSession]] = None,
-                 slo_rules: Optional[Sequence[SloRule]] = None) -> None:
+                 slo_rules: Optional[Sequence[SloRule]] = None,
+                 heartbeat_hook: Optional[
+                     Callable[[dict], None]] = None) -> None:
         self.records = [SessionRecord(spec=spec) for spec in specs]
         self.ramp = ramp
         self.stats_port = stats_port
         self.heartbeat_interval = heartbeat_interval
+        #: called with every heartbeat record (after it is logged) —
+        #: the live dashboard's feed. Hook errors are swallowed so a
+        #: rendering bug can never take the fleet down.
+        self.heartbeat_hook = heartbeat_hook
         self.log = LiveFleetLog(run_dir, echo=echo)
         self.summary: Optional[dict] = None
         #: ``(host, port)`` of the rollup endpoint once bound.
@@ -324,6 +335,10 @@ class SessionSupervisor:
             if exit_reason == "completed" and self._stopping:
                 exit_reason = "sigint-drain"
             self.heartbeat()  # terminal statuses land in the log
+            try:
+                self._write_series_shards()
+            except Exception:
+                pass  # shards are best-effort; the summary must land
             # Finalize inside the teardown path so even a supervisor
             # crash leaves a summary.json naming its exit reason.
             self.summary = self.log.finalize(self._summary(exit_reason))
@@ -374,6 +389,24 @@ class SessionSupervisor:
                              "elapsed_s": round(self.log.elapsed_s, 6)})
         finally:
             rec.finished_at = self.log.elapsed_s
+
+    def _write_series_shards(self) -> None:
+        """Persist each recording session's time-series into the run
+        dir (``series/<label>.json``, atomic) for ``repro plot``."""
+        if self.log.run_dir is None:
+            return
+        for rec in self.records:
+            session = rec.session
+            frame_fn = getattr(session, "series_frame", None)
+            if not callable(frame_fn):
+                continue
+            frame = frame_fn({"label": rec.spec.label,
+                              "baseline": rec.spec.baseline,
+                              "mode": "live"})
+            if frame is None or not frame.t:
+                continue
+            frame.write(self.log.run_dir / "series"
+                        / f"{rec.spec.label}.json")
 
     # ------------------------------------------------------------------
     # telemetry rollup
@@ -481,13 +514,22 @@ class SessionSupervisor:
                              else round(self._g_rss.value / 2**20, 2))}
         if self.watchdog is not None:
             self.watchdog.evaluate(self.log.elapsed_s)
+            firing = self.watchdog.firing
+            if firing:
+                record["slo_firing"] = firing
         p99_txt = "-" if p99 is None else f"{p99 * 1e3:.1f} ms"
         line = (f"live fleet: {counts['running']} running, "
                 f"{counts['completed']} completed, {counts['failed']} failed"
                 + (f", {counts['skipped']} skipped" if counts['skipped']
                    else "")
                 + f"; p99 pacing {p99_txt} at t={self.log.elapsed_s:.1f}s")
-        return self.log.heartbeat(record, line)
+        out = self.log.heartbeat(record, line)
+        if self.heartbeat_hook is not None:
+            try:
+                self.heartbeat_hook(out)
+            except Exception:
+                pass
+        return out
 
     def _summary(self, exit_reason: str = "completed") -> dict:
         counts = {"completed": 0, "failed": 0, "skipped": 0}
@@ -539,6 +581,8 @@ async def run_load_async(config: LoadConfig, *,
                          echo: Optional[Callable[[str], None]] = None,
                          session_factory: Optional[
                              Callable[[SessionSpec], LiveSession]] = None,
+                         heartbeat_hook: Optional[
+                             Callable[[dict], None]] = None,
                          ) -> SessionSupervisor:
     """Build the fleet from ``config`` and drive it to completion."""
     slo_rules = (fleet_slo_rules(pacing_p99_s=config.slo_pacing_p99_s)
@@ -548,7 +592,7 @@ async def run_load_async(config: LoadConfig, *,
         ramp=config.ramp, stats_port=config.stats_port,
         heartbeat_interval=config.heartbeat_interval,
         run_dir=run_dir, echo=echo, session_factory=session_factory,
-        slo_rules=slo_rules)
+        slo_rules=slo_rules, heartbeat_hook=heartbeat_hook)
     await supervisor.run()
     return supervisor
 

@@ -86,6 +86,9 @@ class LiveConfig:
     #: (:class:`~repro.live.clock.WallClock` accounting); read back via
     #: ``session.cpu_s``. The supervisor turns this on fleet-wide.
     cpu_accounting: bool = False
+    #: record bounded time-series of every instrument on the telemetry
+    #: tick (implies telemetry); read back via ``session.series_frame()``.
+    series: bool = False
     #: attach the SLO watchdog (implies telemetry): default session
     #: rules over the burst analyzer's pacing tail + pacer backlog
     #: drift, evaluated on the telemetry tick.
@@ -201,7 +204,8 @@ class LiveSession:
             pacer.stats.rebound(config.pacer_stats_cap)
 
         telemetry = None
-        if config.telemetry or config.stats_port is not None or config.slo:
+        if (config.telemetry or config.stats_port is not None or config.slo
+                or config.series):
             from repro.obs import Telemetry, instrument_stack
             telemetry = self.telemetry = Telemetry(
                 clock, keep_events=config.keep_telemetry_events)
@@ -210,6 +214,8 @@ class LiveSession:
             if config.slo:
                 self.watchdog = telemetry.attach_watchdog(
                     pacing_p99_s=config.slo_pacing_p99_s)
+            if config.series:
+                telemetry.attach_series()
         if config.inject_stall_at is not None:
             self._schedule_stall(clock, pacer, config.inject_stall_at,
                                  config.inject_stall_duration)
@@ -369,6 +375,14 @@ class LiveSession:
         if self.trace is not None and self.config.shaped:
             metrics.bandwidth_fn = self.trace.rate_at
         return metrics
+
+    def series_frame(self, meta: Optional[dict] = None):
+        """Snapshot of the recorded time-series (None unless
+        ``config.series``); a :class:`~repro.obs.timeseries.SeriesFrame`
+        ready for ``write()`` into a run dir's ``series/`` shard."""
+        if self.telemetry is None or self.telemetry.series is None:
+            return None
+        return self.telemetry.series.frame(meta)
 
     def attribution(self):
         """Causal pacer-residence attribution of the finished run.

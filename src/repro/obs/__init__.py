@@ -22,7 +22,22 @@ the ACE-N decisions active while it waited), and *up* to the fleet
 diffable run directories).
 """
 
+from repro.obs.atomicio import atomic_write_text
 from repro.obs.burst import BurstAnalyzer
+from repro.obs.dash import (
+    FleetDashboard,
+    parse_prometheus,
+    record_from_prometheus,
+    sparkline,
+)
+from repro.obs.timeseries import (
+    SeriesFrame,
+    SeriesRecorder,
+    load_shard,
+    m4_downsample,
+    max_divergence_window,
+    rate_series,
+)
 from repro.obs.quantiles import (
     clean_samples,
     histogram_quantile,
@@ -76,6 +91,7 @@ __all__ = [
     "BlameSegment",
     "BurstAnalyzer",
     "Counter",
+    "FleetDashboard",
     "FleetObserver",
     "FlightRecorder",
     "FrameBlame",
@@ -87,12 +103,15 @@ __all__ = [
     "MetricRegistry",
     "ProfileEntry",
     "SPAN_STAGES",
+    "SeriesFrame",
+    "SeriesRecorder",
     "SessionAttribution",
     "SloRule",
     "SloWatchdog",
     "SpanBook",
     "Telemetry",
     "TelemetryRecord",
+    "atomic_write_text",
     "attribute_frames",
     "attribute_metrics",
     "attribute_session",
@@ -105,17 +124,24 @@ __all__ = [
     "instrument_arena",
     "instrument_stack",
     "load_run",
+    "load_shard",
+    "m4_downsample",
+    "max_divergence_window",
+    "parse_prometheus",
     "percentile",
     "percentiles",
     "process_rss_bytes",
     "prometheus_rollup",
     "prometheus_snapshot",
+    "rate_series",
+    "record_from_prometheus",
     "render_frame_blame",
     "render_record",
     "render_rollup",
     "render_span_timeline",
     "report_run",
     "session_slo_rules",
+    "sparkline",
     "write_export_dir",
     "write_jsonl",
     "write_snapshot",

@@ -1,0 +1,47 @@
+"""Crash-safe artifact writes: tmp file + atomic rename.
+
+Run directories are read by other processes (``repro report`` on a
+run in progress, CI artifact uploads racing a SIGINT) and survive
+crashes; a plain ``Path.write_text`` interrupted mid-write leaves a
+truncated JSON behind that every later reader chokes on. All run-dir
+artifacts (``summary.json``, ``results.json``, Prometheus snapshots,
+time-series shards) therefore go through :func:`atomic_write_text`:
+the content lands in a same-directory temp file first and is moved
+into place with ``os.replace``, which is atomic on POSIX and Windows —
+readers see either the old complete file or the new complete file,
+never a torn one.
+
+Append-streamed logs (``cells.jsonl``, ``live.jsonl``) stay plain
+appends on purpose: each record is one short line, a torn tail line is
+skippable, and atomically rewriting the whole log per record would be
+quadratic.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via a same-directory temp file +
+    ``os.replace`` so a crash mid-write never leaves a torn file.
+
+    Creates parent directories as needed. The temp name carries the pid
+    so concurrent writers (grid workers finalizing into one run dir)
+    cannot clobber each other's staging file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        # Best-effort cleanup; the partial temp file must not survive
+        # as if it were the artifact.
+        try:
+            tmp.unlink(missing_ok=True)
+        finally:
+            raise
+    return path

@@ -1,0 +1,267 @@
+"""ANSI sparkline dashboard over live-fleet heartbeat records.
+
+Two feeds, one renderer:
+
+* ``repro load --dash`` hooks :class:`FleetDashboard` directly into the
+  supervisor's heartbeat loop — each heartbeat record becomes one
+  redrawn frame.
+* ``repro watch --stats-port N`` polls a *running* fleet's Prometheus
+  rollup endpoint, rebuilds an equivalent record with
+  :func:`record_from_prometheus`, and feeds the same renderer.
+
+Rendering is deterministic and testable: a frame is a pure function of
+the dashboard's record history and fixed width, sparkline glyph
+selection has no float ambiguity at bucket edges, and color/cursor
+control is emitted only when explicitly enabled — in a pipe or CI
+(``sys.stdout.isatty()`` false) the CLI falls back to the supervisor's
+plain heartbeat lines and exits 0.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FleetDashboard",
+    "parse_prometheus",
+    "record_from_prometheus",
+    "sparkline",
+]
+
+#: Eight-level block glyphs, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+#: Per-series history depth (heartbeats, i.e. seconds at the default
+#: 1 Hz cadence).
+DEFAULT_HISTORY = 64
+
+CLEAR = "\x1b[H\x1b[2J"
+RED = "\x1b[31m"
+BOLD = "\x1b[1m"
+RESET = "\x1b[0m"
+
+
+def sparkline(values: Sequence[Optional[float]], width: int = 24, *,
+              lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """Render the last ``width`` samples as block glyphs.
+
+    ``None`` samples render as spaces (session not started yet). Bounds
+    default to the window's min/max; a flat window renders at the lowest
+    glyph so "nothing changing" and "pegged at max" look different.
+    """
+    window = list(values)[-width:]
+    finite = [v for v in window if v is not None]
+    if not finite:
+        return " " * len(window)
+    w_lo = min(finite) if lo is None else lo
+    w_hi = max(finite) if hi is None else hi
+    span = w_hi - w_lo
+    out = []
+    for v in window:
+        if v is None:
+            out.append(" ")
+        elif span <= 0:
+            out.append(SPARK_GLYPHS[0])
+        else:
+            idx = int((v - w_lo) / span * (len(SPARK_GLYPHS) - 1) + 0.5)
+            out.append(SPARK_GLYPHS[max(0, min(len(SPARK_GLYPHS) - 1, idx))])
+    return "".join(out)
+
+
+class FleetDashboard:
+    """Stateful renderer: feed heartbeat records, get fixed-width frames.
+
+    ``update(record)`` returns the full frame text; the caller decides
+    where it goes (screen with a clear prefix, golden-file comparison in
+    tests). With ``color=False`` and ``clear=False`` the output is plain
+    ASCII-plus-glyph text with no escape codes at all.
+    """
+
+    def __init__(self, *, width: int = 80, spark_width: int = 24,
+                 history: int = DEFAULT_HISTORY, color: bool = True,
+                 clear: bool = True) -> None:
+        self.width = width
+        self.spark_width = spark_width
+        self.history = history
+        self.color = color
+        self.clear = clear
+        self.frames_rendered = 0
+        self._fleet_p99: Deque[Optional[float]] = deque(maxlen=history)
+        self._session_p99: Dict[str, Deque[Optional[float]]] = {}
+
+    # -- styling -------------------------------------------------------
+    def _alert(self, text: str) -> str:
+        return f"{RED}{BOLD}{text}{RESET}" if self.color else text
+
+    def _bold(self, text: str) -> str:
+        return f"{BOLD}{text}{RESET}" if self.color else text
+
+    # -- rendering -----------------------------------------------------
+    def update(self, record: dict) -> str:
+        """Ingest one heartbeat record and render the next frame."""
+        self.frames_rendered += 1
+        sessions: Dict[str, dict] = record.get("sessions", {}) or {}
+        firing: List[str] = list(record.get("slo_firing", ()) or ())
+
+        self._fleet_p99.append(record.get("pacing_p99_ms"))
+        for label in sessions:
+            self._session_p99.setdefault(
+                label, deque(maxlen=self.history))
+        for label, ring in self._session_p99.items():
+            info = sessions.get(label, {})
+            ring.append(info.get("pacing_p99_ms"))
+
+        lines: List[str] = []
+        # Short count labels so the header + p99 fit left of the
+        # sparkline at the default 80-col width.
+        counts = " ".join(
+            f"{short} {record.get(key, 0)}"
+            for key, short in (("running", "run"), ("completed", "ok"),
+                               ("failed", "fail"), ("pending", "wait"))
+            if record.get(key) is not None)
+        head = (f"live fleet  {counts}  "
+                f"p99 {_fmt_ms(record.get('pacing_p99_ms'))}")
+        lines.append(self._bold(_pad(head, self.width - self.spark_width))
+                     + _pad(sparkline(self._fleet_p99, self.spark_width),
+                            self.spark_width))
+
+        gauges = []
+        if record.get("rss_mb") is not None:
+            gauges.append(f"rss {record['rss_mb']:.0f} MB")
+        if record.get("cpu_total_s") is not None:
+            gauges.append(f"cpu {record['cpu_total_s']:.1f} s")
+        if gauges:
+            lines.append(_pad("  " + "  ".join(gauges), self.width))
+
+        for label in sorted(self._session_p99):
+            info = sessions.get(label, {})
+            status = str(info.get("status", "?"))
+            row = (f"  {label:<18.18} {status:<9.9} "
+                   f"f {int(info.get('frames', 0) or 0):>5} "
+                   f"p99 {_fmt_ms(info.get('pacing_p99_ms'))}")
+            row = _pad(row, self.width - self.spark_width)
+            spark = _pad(sparkline(self._session_p99[label],
+                                   self.spark_width), self.spark_width)
+            if status == "failed":
+                row = self._alert(row)
+            lines.append(row + spark)
+
+        if firing:
+            lines.append(self._alert(
+                _pad("SLO FIRING: " + ", ".join(sorted(firing)), self.width)))
+        else:
+            lines.append(_pad("slo: ok", self.width))
+
+        frame = "\n".join(lines) + "\n"
+        return (CLEAR + frame) if self.clear else frame
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return f"{value:7.1f} ms" if value is not None else "    n/a   "
+
+
+def _pad(text: str, width: int) -> str:
+    if len(text) >= width:
+        return text[:width]
+    return text + " " * (width - len(text))
+
+
+# ----------------------------------------------------------------------
+# Prometheus feed (repro watch)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})?\s+(\S+)\s*$")
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse text-exposition lines into (name, labels, value) triples.
+
+    Tolerant by design: comment/blank lines and unparsable values are
+    skipped, since the endpoint may be mid-rollup when polled.
+    """
+    out: List[Tuple[str, Dict[str, str], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            continue
+        name, label_blob, raw = m.groups()
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        labels = {k: v.replace('\\"', '"').replace("\\\\", "\\")
+                  for k, v in _LABEL_RE.findall(label_blob or "")}
+        out.append((name, labels, value))
+    return out
+
+
+def record_from_prometheus(text: str) -> dict:
+    """Rebuild a heartbeat-like record from a fleet Prometheus rollup.
+
+    Fleet counters/gauges come from the ``session="fleet"`` shard;
+    per-session pacing p99 is interpolated from each session's
+    ``repro_burst_pacing_delay_s`` histogram buckets (lifetime window —
+    the remote rings aren't exposed), and SLO state from the ``slo``
+    shard's ``repro_slo_firing`` gauge.
+    """
+    from repro.obs.quantiles import histogram_quantile
+
+    samples = parse_prometheus(text)
+    fleet: Dict[str, float] = {}
+    slo_firing_count = 0.0
+    breached: List[str] = []
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    frames: Dict[str, float] = {}
+
+    for name, labels, value in samples:
+        session = labels.get("session", "")
+        if session == "fleet":
+            fleet[name] = value
+        elif session == "slo":
+            if name == "repro_slo_firing":
+                slo_firing_count = value
+            elif name.startswith("repro_slo_breached_") and value > 0:
+                breached.append(
+                    name[len("repro_slo_breached_"):].replace("_", "-"))
+        elif session:
+            if name == "repro_burst_pacing_delay_s_bucket":
+                le = labels.get("le", "")
+                bound = float("inf") if le in ("+Inf", "inf") else float(le)
+                buckets.setdefault(session, []).append((bound, value))
+            elif name == "repro_frames_displayed_total":
+                frames[session] = value
+
+    sessions: Dict[str, dict] = {}
+    for label in sorted(set(buckets) | set(frames)):
+        cum = sorted(buckets.get(label, ()), key=lambda bc: bc[0])
+        p99 = histogram_quantile(cum, 99) if cum else None
+        sessions[label] = {
+            "status": "running",
+            "frames": int(frames.get(label, 0)),
+            "pacing_p99_ms": (p99 * 1000.0) if p99 is not None else None,
+        }
+
+    record = {
+        "running": int(fleet.get("repro_live_sessions_running", 0)),
+        "completed": int(fleet.get("repro_live_sessions_completed_total", 0)),
+        "failed": int(fleet.get("repro_live_sessions_failed_total", 0)),
+        "sessions": sessions,
+    }
+    p99 = fleet.get("repro_live_pacing_p99_s")
+    record["pacing_p99_ms"] = p99 * 1000.0 if p99 is not None else None
+    rss = fleet.get("repro_live_rss_bytes")
+    if rss:
+        record["rss_mb"] = rss / (1024 * 1024)
+    cpu = fleet.get("repro_live_cpu_total_s")
+    if cpu is not None:
+        record["cpu_total_s"] = cpu
+    if slo_firing_count > 0:
+        record["slo_firing"] = breached or [f"{int(slo_firing_count)} rule(s)"]
+    return record

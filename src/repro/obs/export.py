@@ -188,9 +188,8 @@ def prometheus_rollup(shards, label: str = "session") -> str:
 
 
 def write_snapshot(telemetry: "Telemetry", path) -> None:
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(prometheus_snapshot(telemetry.registry))
+    from repro.obs.atomicio import atomic_write_text
+    atomic_write_text(path, prometheus_snapshot(telemetry.registry))
 
 
 def write_export_dir(telemetry: "Telemetry", out_dir) -> tuple[Path, Path]:

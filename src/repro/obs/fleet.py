@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 from repro.analysis.aggregate import (METRICS, aggregate, paired_compare,
                                       render_aggregate)
 from repro.analysis.results import RunResult, load_results, save_results
+from repro.obs.atomicio import atomic_write_text
 
 if TYPE_CHECKING:
     from repro.bench.parallel import GridTask
@@ -129,9 +130,9 @@ class FleetObserver:
     # lifecycle
     # ------------------------------------------------------------------
     def write_manifest(self, manifest: dict) -> Path:
-        path = self.run_dir / "manifest.json"
-        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-        return path
+        return atomic_write_text(
+            self.run_dir / "manifest.json",
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n")
 
     def _append(self, record: dict) -> None:
         with self._cells_path.open("a") as fh:
@@ -238,8 +239,8 @@ class FleetObserver:
         }
         if extra:
             summary.update(extra)
-        (self.run_dir / "summary.json").write_text(
-            json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(self.run_dir / "summary.json",
+                          json.dumps(summary, indent=2, sort_keys=True) + "\n")
         return summary
 
     def write_results(self, results: Sequence[RunResult]) -> Path:
@@ -304,8 +305,9 @@ class LiveFleetLog:
                    "ended_unix": round(self.started_unix + self.elapsed_s, 3),
                    "heartbeats": self.heartbeats, **summary}
         if self.run_dir is not None:
-            (self.run_dir / "summary.json").write_text(
-                json.dumps(summary, indent=2, sort_keys=True) + "\n")
+            atomic_write_text(self.run_dir / "summary.json",
+                              json.dumps(summary, indent=2, sort_keys=True)
+                              + "\n")
         return summary
 
 
@@ -463,5 +465,10 @@ def diff_runs(candidate_dir: str | Path, reference_dir: str | Path,
             lines.append(f"  {cell:<14} {metric:<14} "
                          f"{old:>12.6g} -> {new:>12.6g} "
                          f"({rel:+.1%})  {flag}")
+    # Time-series shards (recorded with --series) pinpoint *when* the
+    # runs diverged, not just whether; informational, never a
+    # regression by itself.
+    from repro.analysis.report import series_divergence_lines
+    lines.extend(series_divergence_lines(candidate_dir, reference_dir))
     lines.append(f"{len(regressions)} regression(s)")
     return "\n".join(lines), regressions

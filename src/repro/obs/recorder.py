@@ -109,6 +109,8 @@ class Telemetry:
             BurstAnalyzer(self.registry) if burst else None)
         #: optional SLO watchdog evaluated on the telemetry tick.
         self.watchdog: Optional["SloWatchdog"] = None
+        #: optional time-series recorder sampled on the telemetry tick.
+        self.series = None
         self._frames_encoded = self.registry.counter(
             "frames.encoded", help="Frames produced by the encoder")
         self._frames_displayed = self.registry.counter(
@@ -151,6 +153,8 @@ class Telemetry:
         self.registry.sample_all()
         if self.watchdog is not None:
             self.watchdog.evaluate(self.now)
+        if self.series is not None:
+            self.series.sample(self.now)
         self._tick_handle = self.clock.call_later(
             self.tick_interval, self._tick, name="obs.tick")
 
@@ -180,6 +184,26 @@ class Telemetry:
                                     publish=self.registry,
                                     on_alert=_on_alert)
         return self.watchdog
+
+    # ------------------------------------------------------------------
+    # time-series recording
+    # ------------------------------------------------------------------
+    def attach_series(self, *, max_samples: Optional[int] = None):
+        """Attach a bounded time-series recorder sampled on every tick.
+
+        Each tick appends one row of gauge/counter values (and burst
+        pacing quantiles) to columnar arrays — a pure observer, so
+        fixed-seed fingerprints stay bit-identical with recording on.
+        Idempotent: a second call returns the existing recorder.
+        """
+        from repro.obs.timeseries import DEFAULT_MAX_SAMPLES, SeriesRecorder
+
+        if self.series is None:
+            self.series = SeriesRecorder(
+                self.registry, burst=self.burst,
+                max_samples=(DEFAULT_MAX_SAMPLES if max_samples is None
+                             else max_samples))
+        return self.series
 
     # ------------------------------------------------------------------
     # recording

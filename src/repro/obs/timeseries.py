@@ -1,0 +1,400 @@
+"""Deterministic, bounded time-series recording on the telemetry tick.
+
+The paper's evaluation argument is made with trajectories — sending
+rate tracking link capacity, queuing delay staying flat, the token
+bucket shrinking under Algorithm 1 — while the rest of ``repro.obs``
+reports end-of-run aggregates and point-in-time snapshots. This module
+adds the time axis: a :class:`SeriesRecorder` attached to a
+:class:`~repro.obs.recorder.Telemetry` samples every registered gauge
+and counter (plus pacing-delay quantiles from the burst analyzer's
+recent-window rings) on the existing telemetry tick and keeps them as
+columnar arrays sharing one time column.
+
+Design constraints, in order:
+
+* **Pure observer.** Sampling reads ``Gauge.sample()`` / ``.value`` and
+  ``Counter.value`` only — no RNG draws, no lazy state advancement, no
+  component mutation — so golden session fingerprints stay bit-identical
+  with recording enabled (enforced by ``tests/test_sim_regression.py``).
+* **Deterministically bounded.** When the sample count would exceed
+  ``max_samples`` the recorder decimates by keeping every other sample
+  and doubling its stride. The retained set is a pure function of the
+  tick sequence, never of wall-clock pressure, so two identical runs
+  keep identical samples.
+* **Decimation-safe columns.** Counters are stored *cumulative*, not as
+  per-tick deltas: dropping every other cumulative sample still yields
+  correct rates at render time (:func:`rate_series`), whereas dropped
+  deltas would silently lose bytes.
+* **Reproducible rendering.** :func:`m4_downsample` reduces a series to
+  first/min/max/last per pixel bin — the standard M4 reduction — with
+  deterministic tie-breaks, so rendering the same shard at the same
+  width is byte-identical everywhere.
+
+Shards serialize to JSON (``SeriesFrame.to_dict`` rounds to 9 decimals
+and sorts keys) and land under ``<run_dir>/series/<label>.json`` via
+atomic writes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .atomicio import atomic_write_text
+
+__all__ = [
+    "DEFAULT_MAX_SAMPLES",
+    "SeriesFrame",
+    "SeriesRecorder",
+    "load_shard",
+    "m4_downsample",
+    "max_divergence_window",
+    "rate_series",
+]
+
+# ~7 minutes of 100ms ticks before the first decimation; bounded memory
+# for arbitrarily long runs (stride doubles, count halves).
+DEFAULT_MAX_SAMPLES = 4096
+
+# Percentiles sampled from the burst analyzer's recent pacing-delay
+# window each tick; matches the SLO watchdog's p99 focus plus a median
+# for the paper-style quantile band.
+PACING_PCTS = (50.0, 99.0)
+
+SHARD_KIND = "repro-series"
+SHARD_VERSION = 1
+
+
+@dataclass
+class SeriesFrame:
+    """Columnar time-series snapshot: one shared time axis, one value
+    column per metric. ``None`` marks ticks where a series had no value
+    (gauge never set, column registered late)."""
+
+    t: List[float] = field(default_factory=list)
+    series: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def names(self) -> List[str]:
+        return sorted(self.series)
+
+    def get(self, name: str) -> List[Optional[float]]:
+        return self.series.get(name, [])
+
+    def points(self, name: str) -> Tuple[List[float], List[float]]:
+        """(t, v) with ``None`` samples dropped — render-ready."""
+        ts: List[float] = []
+        vs: List[float] = []
+        for tt, vv in zip(self.t, self.series.get(name, ())):
+            if vv is not None and not math.isnan(vv):
+                ts.append(tt)
+                vs.append(vv)
+        return ts, vs
+
+    def to_dict(self) -> Dict[str, object]:
+        def _clean(value: Optional[float]) -> Optional[float]:
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                return None
+            return round(float(value), 9)
+
+        return {
+            "kind": SHARD_KIND,
+            "version": SHARD_VERSION,
+            "meta": dict(self.meta),
+            "t": [round(float(tt), 9) for tt in self.t],
+            "series": {
+                name: [_clean(v) for v in col]
+                for name, col in sorted(self.series.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SeriesFrame":
+        if payload.get("kind") != SHARD_KIND:
+            raise ValueError(f"not a {SHARD_KIND} shard: kind={payload.get('kind')!r}")
+        return cls(
+            t=[float(tt) for tt in payload.get("t", [])],
+            series={
+                str(name): list(col)
+                for name, col in dict(payload.get("series", {})).items()
+            },
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    def write(self, path: str | Path) -> Path:
+        """Atomically persist the shard as JSON (satellite: crash-safe
+        run-dir artifacts)."""
+        return atomic_write_text(path, self.to_json() + "\n")
+
+
+def load_shard(path: str | Path) -> SeriesFrame:
+    return SeriesFrame.from_dict(json.loads(Path(path).read_text()))
+
+
+class SeriesRecorder:
+    """Samples a :class:`~repro.obs.registry.MetricRegistry` into bounded
+    columnar series on each telemetry tick.
+
+    Gauges are read from ``.value`` (``Telemetry._tick`` has already run
+    ``sample_all()``, so polled gauges are fresh); counters record their
+    cumulative value; the optional burst analyzer contributes recent
+    pacing-delay percentiles as ``burst.pacing_p{50,99}_s``.
+    """
+
+    def __init__(
+        self,
+        registry,
+        *,
+        burst=None,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> None:
+        if max_samples < 4:
+            raise ValueError("max_samples must be >= 4")
+        self.registry = registry
+        self.burst = burst
+        self.max_samples = int(max_samples)
+        #: Tick-decimation stride; doubles on each compaction so the
+        #: retained set depends only on the tick sequence.
+        self.stride = 1
+        self._ticks = 0
+        self.t: List[float] = []
+        self.columns: Dict[str, List[Optional[float]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    def sample(self, now: float) -> None:
+        """Record one row; a pure read of instruments — never mutates
+        the components being observed."""
+        tick = self._ticks
+        self._ticks = tick + 1
+        if tick % self.stride:
+            return
+
+        row: Dict[str, Optional[float]] = {}
+        for name, gauge in self.registry.gauges.items():
+            row[name] = gauge.value
+        for name, counter in self.registry.counters.items():
+            row[name] = counter.value
+        if self.burst is not None:
+            for pct, value in zip(
+                PACING_PCTS, self.burst.pacing_percentiles(PACING_PCTS)
+            ):
+                row[f"burst.pacing_p{pct:g}_s"] = value
+
+        filled = len(self.t)
+        self.t.append(now)
+        for name, value in row.items():
+            column = self.columns.get(name)
+            if column is None:
+                # Late-registered metric: backfill so every column stays
+                # aligned with the shared time axis.
+                column = self.columns[name] = [None] * filled
+            column.append(value)
+        for column in self.columns.values():
+            if len(column) <= filled:
+                column.append(None)
+
+        if len(self.t) > self.max_samples:
+            self._compact()
+
+    def _compact(self) -> None:
+        # Keep samples 0, 2, 4, ... and double the stride: deterministic
+        # given the tick sequence, keeps the earliest sample, and halves
+        # memory while preserving full-run coverage.
+        self.t = self.t[::2]
+        for name, column in self.columns.items():
+            self.columns[name] = column[::2]
+        self.stride *= 2
+
+    def frame(self, meta: Optional[Dict[str, object]] = None) -> SeriesFrame:
+        merged: Dict[str, object] = {"stride": self.stride, "samples": len(self.t)}
+        if meta:
+            merged.update(meta)
+        return SeriesFrame(
+            t=list(self.t),
+            series={name: list(col) for name, col in self.columns.items()},
+            meta=merged,
+        )
+
+
+def m4_downsample(
+    t: Sequence[float], v: Sequence[Optional[float]], width: int
+) -> Tuple[List[float], List[float]]:
+    """Reduce ``(t, v)`` to at most ``4 * width`` points keeping the
+    first, min, max, and last sample of each of ``width`` equal-time
+    bins (the M4 reduction). ``None``/NaN samples are skipped. Ties in
+    a bin's min/max resolve to the earliest sample, so the output is a
+    pure function of the input — same shard + same width is always the
+    same polyline.
+    """
+    if width <= 0:
+        return [], []
+    pts = [
+        (float(tt), float(vv))
+        for tt, vv in zip(t, v)
+        if vv is not None and not math.isnan(vv)
+    ]
+    if len(pts) <= 4 * width:
+        return [p[0] for p in pts], [p[1] for p in pts]
+
+    t0 = pts[0][0]
+    span = pts[-1][0] - t0
+    if span <= 0.0:
+        pts = pts[:1] + pts[-1:]
+        return [p[0] for p in pts], [p[1] for p in pts]
+
+    # Per-bin indices into pts: [first, min, max, last].
+    bins: Dict[int, List[int]] = {}
+    for idx, (tt, vv) in enumerate(pts):
+        b = min(width - 1, int((tt - t0) / span * width))
+        slot = bins.get(b)
+        if slot is None:
+            bins[b] = [idx, idx, idx, idx]
+            continue
+        if vv < pts[slot[1]][1]:
+            slot[1] = idx
+        if vv > pts[slot[2]][1]:
+            slot[2] = idx
+        slot[3] = idx
+
+    keep = sorted({idx for slot in bins.values() for idx in slot})
+    return [pts[i][0] for i in keep], [pts[i][1] for i in keep]
+
+
+def rate_series(
+    t: Sequence[float],
+    cumulative: Sequence[Optional[float]],
+    *,
+    scale: float = 8.0,
+) -> Tuple[List[float], List[float]]:
+    """Per-interval rate from a cumulative counter column. The default
+    ``scale`` of 8 turns cumulative *bytes* into *bits/s*. Intervals
+    with no elapsed time or a missing endpoint are skipped; counter
+    resets (negative deltas) clamp to zero rather than plotting a
+    nonsense negative rate.
+    """
+    out_t: List[float] = []
+    out_v: List[float] = []
+    prev_t: Optional[float] = None
+    prev_v: Optional[float] = None
+    for tt, vv in zip(t, cumulative):
+        if vv is None or (isinstance(vv, float) and math.isnan(vv)):
+            continue
+        if prev_t is not None and tt > prev_t:
+            delta = max(0.0, float(vv) - float(prev_v))
+            out_t.append(float(tt))
+            out_v.append(delta * scale / (float(tt) - prev_t))
+        prev_t, prev_v = float(tt), float(vv)
+    return out_t, out_v
+
+
+def value_at(
+    t: Sequence[float], v: Sequence[float], when: float
+) -> Optional[float]:
+    """Sample-and-hold lookup: the value of the last sample at or before
+    ``when`` (None before the first sample)."""
+    idx = bisect_right(t, when) - 1
+    if idx < 0:
+        return None
+    return v[idx]
+
+
+def max_divergence_window(
+    candidate: SeriesFrame,
+    reference: SeriesFrame,
+    *,
+    window_s: float = 1.0,
+    names: Optional[Iterable[str]] = None,
+) -> Optional[Dict[str, object]]:
+    """Find the time window where two runs' series diverge the most.
+
+    Series are aligned sample-and-hold on the candidate's time axis
+    (runs tick on the same schedule but decimation strides may differ).
+    Each series' absolute differences are normalized by the pair's
+    value scale so "queue grew by 40 KB" and "rate fell by 4 Mbps" are
+    comparable, then a sliding window of ``window_s`` seconds picks the
+    worst mean divergence across all common series (earliest window on
+    ties — exact, via prefix sums).
+
+    Returns ``None`` when there is nothing to compare, else a dict with
+    ``series``, ``start``/``end`` (seconds), ``divergence`` (normalized
+    mean over the window), and the window's candidate/reference means.
+    """
+    if names is None:
+        common = sorted(set(candidate.series) & set(reference.series))
+    else:
+        common = sorted(set(names) & set(candidate.series) & set(reference.series))
+
+    best: Optional[Dict[str, object]] = None
+    for name in common:
+        ct, cv = candidate.points(name)
+        rt, rv = reference.points(name)
+        if len(ct) < 2 or len(rt) < 2:
+            continue
+        lo = max(ct[0], rt[0])
+        hi = min(ct[-1], rt[-1])
+        if hi <= lo:
+            continue
+
+        ts: List[float] = []
+        diffs: List[float] = []
+        ref_vals: List[float] = []
+        cand_vals: List[float] = []
+        for tt, vv in zip(ct, cv):
+            if tt < lo or tt > hi:
+                continue
+            rr = value_at(rt, rv, tt)
+            if rr is None:
+                continue
+            ts.append(tt)
+            diffs.append(abs(vv - rr))
+            ref_vals.append(rr)
+            cand_vals.append(vv)
+        if len(ts) < 2:
+            continue
+
+        # Normalize by the larger of the two runs' scales: an all-zero
+        # reference (e.g. drops only in the candidate) must not divide
+        # the diff by epsilon and drown every other series.
+        scale = max(max(abs(r) for r in ref_vals),
+                    max(abs(c) for c in cand_vals), 1e-9)
+        norm = [d / scale for d in diffs]
+
+        # Prefix sums make equal windows compare exactly (no running-sum
+        # float drift), so ties resolve to the earliest window.
+        n = len(ts)
+        pre_norm = [0.0] * (n + 1)
+        pre_ref = [0.0] * (n + 1)
+        pre_cand = [0.0] * (n + 1)
+        for k in range(n):
+            pre_norm[k + 1] = pre_norm[k] + norm[k]
+            pre_ref[k + 1] = pre_ref[k] + ref_vals[k]
+            pre_cand[k + 1] = pre_cand[k] + cand_vals[k]
+
+        # Sliding window over sample indices: [i, j) spans <= window_s.
+        j = 0
+        for i in range(n):
+            if j < i + 1:
+                j = i
+            while j < n and ts[j] - ts[i] <= window_s:
+                j += 1
+            count = j - i
+            mean = (pre_norm[j] - pre_norm[i]) / count
+            if best is None or mean > best["divergence"]:
+                best = {
+                    "series": name,
+                    "start": ts[i],
+                    "end": ts[j - 1],
+                    "divergence": mean,
+                    "candidate_mean": (pre_cand[j] - pre_cand[i]) / count,
+                    "reference_mean": (pre_ref[j] - pre_ref[i]) / count,
+                }
+    return best

@@ -65,6 +65,12 @@ def instrument_stack(telemetry: "Telemetry", *,
         registry.gauge("pacer.pacing_rate_bps",
                        sample_fn=lambda p=pacer: p.pacing_rate_bps,
                        help="Current pacing rate in bits per second")
+        # Cumulative wire bytes as a sampled gauge: the time-series
+        # layer derives the paper's sending-rate curve from deltas of
+        # this column (decimation-safe, unlike per-tick rates).
+        registry.gauge("pacer.sent_bytes",
+                       sample_fn=lambda p=pacer: p.stats.sent_bytes,
+                       help="Cumulative bytes the pacer put on the wire")
         if isinstance(pacer, TokenBucketPacer):
             registry.gauge(
                 "bucket.token_level_bytes",
@@ -107,6 +113,11 @@ def instrument_stack(telemetry: "Telemetry", *,
         registry.gauge("link.queue_bytes",
                        sample_fn=lambda l=link: l.queued_bytes,
                        help="Bytes queued in the bottleneck link")
+        # rate_at() is a pure function of time (monotonic cursor with a
+        # bisect fallback), so sampling it never perturbs the trace.
+        registry.gauge("link.capacity_bps",
+                       sample_fn=lambda l=link: l.rate_now,
+                       help="Bottleneck link capacity in bits per second")
         drops = registry.counter("link.drop_packets",
                                  help="Packets dropped at the link queue")
         orig_on_drop = link.on_drop
@@ -153,4 +164,8 @@ def instrument_arena(telemetry: "Telemetry", arena) -> "Telemetry":
         registry.gauge(f"arena.flow{fid}.queue_share",
                        sample_fn=lambda f=fid: _flow_share(f),
                        help=f"Flow {fid}'s fraction of queued bytes")
+        registry.gauge(
+            f"arena.flow{fid}.sent_bytes",
+            sample_fn=lambda f=fid, a=arena: a.senders[f].pacer.stats.sent_bytes,
+            help=f"Cumulative wire bytes sent by flow {fid}")
     return telemetry

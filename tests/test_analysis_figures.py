@@ -1,0 +1,164 @@
+"""Deterministic SVG/HTML figure rendering from series shards.
+
+The contract ``repro plot`` ships on: same shards + same width =>
+byte-identical report, self-contained output (no external assets), and
+the paper-style figure set appears in a fixed order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    ChartSeries,
+    discover_shards,
+    figures_for_frame,
+    render_html_report,
+    render_run,
+    svg_line_chart,
+)
+from repro.obs.timeseries import SeriesFrame
+
+
+def _sim_frame(n: int = 50) -> SeriesFrame:
+    t = [0.1 * (i + 1) for i in range(n)]
+    return SeriesFrame(t=t, series={
+        "pacer.sent_bytes": [25_000.0 * (i + 1) for i in range(n)],
+        "link.capacity_bps": [20e6] * n,
+        "cc.bwe_bps": [4e6 + 50_000.0 * i for i in range(n)],
+        "ace.est_queue_bytes": [1000.0 + 100.0 * (i % 7) for i in range(n)],
+        "link.queue_bytes": [900.0 + 90.0 * (i % 7) for i in range(n)],
+        "bucket.size_bytes": [30_000.0 - 100.0 * i for i in range(n)],
+        "bucket.token_level_bytes": [15_000.0] * n,
+        "burst.pacing_p50_s": [0.002] * n,
+        "burst.pacing_p99_s": [0.010 + 0.0001 * i for i in range(n)],
+    }, meta={"baseline": "ace", "stride": 1, "samples": n})
+
+
+def _arena_frame(n: int = 40) -> SeriesFrame:
+    t = [0.1 * (i + 1) for i in range(n)]
+    series = {}
+    for fid in (1, 2):
+        series[f"arena.flow{fid}.sent_bytes"] = [
+            float(fid) * 10_000.0 * (i + 1) for i in range(n)]
+        series[f"arena.flow{fid}.queue_share"] = [0.5] * n
+    return SeriesFrame(t=t, series=series, meta={"mode": "arena"})
+
+
+# ---------------------------------------------------------------------------
+# svg_line_chart
+# ---------------------------------------------------------------------------
+def test_svg_chart_is_deterministic_and_well_formed():
+    series = [ChartSeries("rate", [0.0, 1.0, 2.0], [1.0, 3.0, 2.0])]
+    a = svg_line_chart("t", series, y_label="Mbps")
+    b = svg_line_chart("t", series, y_label="Mbps")
+    assert a == b
+    assert a.startswith("<svg ") and a.endswith("</svg>")
+    assert "<polyline" in a and "Mbps" in a
+
+
+def test_svg_chart_escapes_markup():
+    out = svg_line_chart('<t> & "q"',
+                         [ChartSeries("a<b", [0.0, 1.0], [1.0, 2.0])])
+    assert "<t>" not in out and "a<b" not in out
+    assert "&lt;t&gt;" in out and "a&lt;b" in out
+
+
+def test_svg_chart_no_data_placeholder():
+    out = svg_line_chart("empty", [ChartSeries("x", [], [])])
+    assert "no data" in out and out.endswith("</svg>")
+
+
+def test_svg_chart_downsamples_to_pixel_budget():
+    n = 10_000
+    series = [ChartSeries("big", [float(i) for i in range(n)],
+                          [float(i % 97) for i in range(n)])]
+    out = svg_line_chart("big", series, pixel_width=50)
+    coords = out.split('points="')[1].split('"')[0]
+    assert len(coords.split()) <= 4 * 50
+
+
+# ---------------------------------------------------------------------------
+# figures_for_frame
+# ---------------------------------------------------------------------------
+def test_sim_frame_yields_paper_figures_in_order():
+    svgs = figures_for_frame("ace", _sim_frame())
+    titles = [svg.split("font-weight=\"bold\">")[1].split("<")[0]
+              for svg in svgs]
+    assert titles == [
+        "ace: sending rate vs capacity",
+        "ace: queue occupancy",
+        "ace: token-bucket state",
+        "ace: pacing delay quantiles",
+    ]
+
+
+def test_arena_frame_yields_fairness_figures():
+    svgs = figures_for_frame("arena", _arena_frame())
+    joined = "".join(svgs)
+    assert "per-flow sending rate" in joined
+    assert "per-flow queue share" in joined
+    assert "Jain fairness index" in joined
+
+
+def test_unknown_columns_yield_no_figures():
+    frame = SeriesFrame(t=[0.1, 0.2], series={"mystery": [1.0, 2.0]})
+    assert figures_for_frame("x", frame) == []
+
+
+# ---------------------------------------------------------------------------
+# shard discovery + HTML report
+# ---------------------------------------------------------------------------
+def _write_shards(tmp_path):
+    run = tmp_path / "run"
+    _sim_frame().write(run / "series" / "b-cell.json")
+    _arena_frame().write(run / "series" / "a-cell.json")
+    return run
+
+
+def test_discover_shards_run_dir_series_dir_and_file(tmp_path):
+    run = _write_shards(tmp_path)
+    labels = [label for label, _ in discover_shards(run)]
+    assert labels == ["a-cell", "b-cell"]  # sorted for stable order
+    assert discover_shards(run / "series") == discover_shards(run)
+    one = discover_shards(run / "series" / "a-cell.json")
+    assert one == [("a-cell", run / "series" / "a-cell.json")]
+    assert discover_shards(tmp_path / "nope") == []
+
+
+def test_render_run_is_byte_identical(tmp_path):
+    run = _write_shards(tmp_path)
+    out = render_run(run)
+    assert out == run / "report.html"
+    first = out.read_bytes()
+    assert render_run(run).read_bytes() == first
+    html = first.decode()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "a-cell" in html and "b-cell" in html
+    # Self-contained: inline SVG only, no external fetches (the only
+    # URI allowed is the SVG xmlns declaration).
+    for marker in ("<script", "<link", "src=", "href=", "@import"):
+        assert marker not in html
+    assert "<svg " in html
+
+
+def test_render_html_report_empty_hint():
+    html = render_html_report([])
+    assert "No time-series shards" in html
+
+
+def test_cli_plot_round_trip(tmp_path, capsys):
+    from repro.cli import main
+
+    run = _write_shards(tmp_path)
+    out = tmp_path / "custom.html"
+    assert main(["plot", str(run), "--out", str(out)]) == 0
+    assert "2 shard(s)" in capsys.readouterr().out
+    assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_cli_plot_no_shards_is_an_error(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="no series shards"):
+        main(["plot", str(tmp_path)])

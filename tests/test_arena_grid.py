@@ -215,3 +215,25 @@ def test_grid_cache_discipline_never_crosses(tmp_path):
                    disciplines=("codel",), **kwargs)
     # second run must be a miss: codel never reads the drop-tail slot
     assert cache.hits == 0 and cache.misses == 2 and cache.stores == 2
+
+def test_grid_series_writes_sanitized_arena_shards(tmp_path):
+    """``--arena --series``: per-cell shards land under the run dir with
+    the arena label's ``*+@:`` characters sanitized, and render-ready
+    per-flow columns inside."""
+    from repro.obs.timeseries import load_shard
+
+    run_dir = tmp_path / "run"
+    run_arena_grid(
+        mixes=["ace+cbr"], traces=[const_trace()],
+        disciplines=("codel",), seeds=(3,), duration=2.5,
+        run_dir=str(run_dir), series=True)
+    shards = sorted((run_dir / "series").glob("*.json"))
+    assert [p.stem for p in shards] == \
+        ["arena-ace-cbr-codel__const20__s3__gaming"]
+    frame = load_shard(shards[0])
+    assert frame.meta["mode"] == "arena"
+    assert frame.t
+    assert "arena.flow1.sent_bytes" in frame.series
+    assert "arena.flow2.sent_bytes" in frame.series
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["series"] is True

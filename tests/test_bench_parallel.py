@@ -173,6 +173,105 @@ class TestEnvIsolation:
         assert m.slo_alerts["rules"] == 2
 
 
+class TestSeriesRecordingCells:
+    """``GridTask.series`` / ``inject_stall``: the divergence A/B story."""
+
+    def test_series_cell_attaches_frame_and_bypasses_cache(self, traces,
+                                                           tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, enabled=True)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        task = GridTask(baseline="ace", trace=traces[0], seed=3,
+                        duration=DURATION, series=True)
+        assert task.instrumented
+        [m] = runner.run([task])
+        assert cache.hits == cache.misses == cache.stores == 0
+        frame = m.series_frame
+        assert frame.t and frame.t == sorted(frame.t)
+        assert "pacer.sent_bytes" in frame.series
+        assert frame.meta["baseline"] == "ace"
+        assert frame.meta["mode"] == "sim"
+        assert frame.meta["trace"] == traces[0].name
+        # Pure observer: identical to an uninstrumented run.
+        [plain] = ParallelRunner(jobs=1).run([
+            GridTask(baseline="ace", trace=traces[0], seed=3,
+                     duration=DURATION)])
+        assert canonical_metrics_json(m) == canonical_metrics_json(plain)
+
+    def test_series_frame_survives_worker_pickling(self, traces):
+        task = GridTask(baseline="cbr", trace=traces[0], seed=3,
+                        duration=DURATION, series=True)
+        [m] = ParallelRunner(jobs=2).run([task])
+        assert m.series_frame.t
+
+    def test_inject_stall_diverges_and_is_never_cached(self, traces,
+                                                       tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, enabled=True)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        stalled = GridTask(baseline="ace", trace=traces[0], seed=3,
+                           duration=DURATION, series=True,
+                           inject_stall=(1.0, 0.8))
+        assert stalled.instrumented
+        [m] = runner.run([stalled])
+        assert cache.hits == cache.misses == cache.stores == 0
+        assert m.series_frame.meta["inject_stall"] == [1.0, 0.8]
+        [plain] = ParallelRunner(jobs=1).run([
+            GridTask(baseline="ace", trace=traces[0], seed=3,
+                     duration=DURATION)])
+        # The stall clamps the pacer to its floor for 0.8 s: the run is
+        # observably different from the clean one.
+        assert canonical_metrics_json(m) != canonical_metrics_json(plain)
+
+    def test_series_shard_name_sanitizes_grid_keys(self):
+        from repro.bench.parallel import series_shard_name
+
+        assert series_shard_name(("ace", "flat-15", 3, "gaming")) == \
+            "ace__flat-15__s3__gaming"
+        arena = series_shard_name(
+            ("arena:ace*2+webrtc-star@codel", "const:20", 7, "gaming"))
+        assert arena == "arena-ace-2-webrtc-star-codel__const-20__s7__gaming"
+        assert not set(arena) - set(
+            "abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+    def test_write_series_shards_lands_loadable_files(self, traces,
+                                                      tmp_path):
+        from repro.bench.parallel import series_shard_name, \
+            write_series_shards
+        from repro.obs.timeseries import load_shard
+
+        tasks = [GridTask(baseline=b, trace=traces[0], seed=3,
+                          duration=DURATION, series=True)
+                 for b in ("ace", "cbr")]
+        metrics = ParallelRunner(jobs=1).run(tasks)
+        written = write_series_shards(tmp_path, tasks, metrics)
+        assert [p.name for p in written] == [
+            f"{series_shard_name(t.key())}.json" for t in tasks]
+        for path in written:
+            assert path.parent == tmp_path / "series"
+            frame = load_shard(path)
+            assert frame.t and frame.series
+
+    def test_write_series_shards_skips_frameless_cells(self, traces,
+                                                       tmp_path):
+        from repro.bench.parallel import write_series_shards
+
+        task = GridTask(baseline="cbr", trace=traces[0], seed=3,
+                        duration=DURATION)  # no series recording
+        [m] = ParallelRunner(jobs=1).run([task])
+        assert write_series_shards(tmp_path, [task], [m]) == []
+        assert not (tmp_path / "series").exists()
+
+    def test_run_grid_series_run_dir_writes_shards(self, traces, tmp_path):
+        run_grid(["ace"], traces[:1], seeds=(3,), duration=DURATION,
+                 series=True, run_dir=str(tmp_path / "run"))
+        shards = sorted((tmp_path / "run" / "series").glob("*.json"))
+        assert [p.stem for p in shards] == ["ace__flat-15__s3__gaming"]
+        import json
+        manifest = json.loads(
+            (tmp_path / "run" / "manifest.json").read_text())
+        assert manifest["series"] is True
+
+
 class TestResultCache:
     def test_cache_hit_returns_equal_metrics_without_rerun(self, traces,
                                                            tmp_path):

@@ -195,6 +195,68 @@ class TestAttribAndProfile:
         assert "no pacer stamps" in capsys.readouterr().out
 
 
+class TestSeriesAndTimelineCli:
+    def test_run_series_out_writes_shard(self, tmp_path, capsys):
+        rc = main(["run", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "1", "--seed", "5",
+                   "--series-out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "series:" in out and "samples x" in out
+        shard = tmp_path / "series" / "ace__const-8__s5__gaming.json"
+        assert shard.is_file()
+        from repro.obs.timeseries import load_shard
+        frame = load_shard(shard)
+        assert frame.meta["baseline"] == "ace"
+        assert frame.t
+
+    def test_timeline_out_writes_blame_csv(self, tmp_path, capsys):
+        out = tmp_path / "tl.csv"
+        rc = main(["timeline", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "1", "--seed", "5", "--out", str(out)])
+        assert rc == 0
+        assert "timeline:" in capsys.readouterr().out
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("frame_id,")
+        assert "blame_dominant" in header
+
+    def test_timeline_streams_to_stdout_without_blame(self, capsys):
+        rc = main(["timeline", "--baseline", "ace", "--trace", "const:8",
+                   "--duration", "1", "--seed", "5", "--no-blame"])
+        assert rc == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header.startswith("frame_id,")
+        assert "blame_dominant" not in header
+
+    def test_grid_stall_ab_pair_diffs_with_divergence_window(
+            self, tmp_path, capsys):
+        """The ISSUE's acceptance scenario end-to-end: record an A/B
+        pair with --series, inject a stall into B, and `repro report
+        --diff` prints the max-divergence window."""
+        common = ["grid", "--baselines", "ace", "--traces", "const:15",
+                  "--seeds", "3", "--duration", "2.5", "--series"]
+        assert main(common + ["--run-dir", str(tmp_path / "ref")]) == 0
+        assert main(common + ["--run-dir", str(tmp_path / "stalled"),
+                              "--inject-stall", "1:0.8"]) == 0
+        capsys.readouterr()
+        main(["report", str(tmp_path / "stalled"),
+              "--diff", str(tmp_path / "ref")])
+        out = capsys.readouterr().out
+        assert "time-series divergence (worst window per shard):" in out
+        assert "max divergence in" in out
+
+    def test_grid_inject_stall_rejects_arena(self):
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["grid", "--arena", "ace*2", "--traces", "const:15",
+                  "--seeds", "3", "--duration", "1",
+                  "--inject-stall", "1.0"])
+
+    def test_grid_bad_stall_spec_fails(self):
+        with pytest.raises(SystemExit, match="inject-stall wants"):
+            main(["grid", "--baselines", "ace", "--traces", "const:15",
+                  "--inject-stall", "soon"])
+
+
 class TestGridAndReport:
     @pytest.fixture()
     def run_dir(self, tmp_path):

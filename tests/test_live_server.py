@@ -317,6 +317,53 @@ def test_supervisor_stall_trips_fleet_watchdog(tmp_path):
     assert 'repro_slo_breached_fleet_pacing_p99{session="slo"}' in text
 
 
+def test_supervisor_series_writes_shards_and_calls_hook(tmp_path):
+    """``--series`` fleet: per-session shards land under the run dir at
+    teardown, and the heartbeat hook (the dashboard's feed) sees every
+    heartbeat record without being able to crash the fleet."""
+    from repro.obs.timeseries import load_shard
+
+    hooked = []
+
+    def hook(record):
+        hooked.append(record)
+        raise RuntimeError("renderer bug")  # must be swallowed
+
+    supervisor = run_load(quick_load(sessions=2, series=True),
+                          run_dir=str(tmp_path), heartbeat_hook=hook)
+    assert [r.status for r in supervisor.records] == ["completed"] * 2
+    shards = sorted((tmp_path / "series").glob("*.json"))
+    assert [p.stem for p in shards] == ["s0-ace", "s1-webrtc-star"]
+    for path in shards:
+        frame = load_shard(path)
+        assert frame.t and frame.series
+        assert frame.meta["mode"] == "live"
+        assert frame.meta["label"] == path.stem
+    # The hook fired on heartbeats and its exception never propagated.
+    assert hooked
+    assert all("sessions" in record for record in hooked)
+
+
+def test_supervisor_without_series_writes_no_shards(tmp_path):
+    run_load(quick_load(sessions=1, mix=("cbr",)), run_dir=str(tmp_path))
+    assert not (tmp_path / "series").exists()
+
+
+def test_supervisor_slo_firing_rides_heartbeat_records(tmp_path):
+    """An injected stall trips the fleet watchdog; the breach shows up
+    as ``slo_firing`` on heartbeat records — what the dashboard's SLO
+    line renders from."""
+    hooked = []
+    config = quick_load(sessions=2, mix=("ace",), duration=2.5,
+                        slo=True, slo_pacing_p99_s=0.05,
+                        inject_stall_at=0.5, inject_stall_duration=1.5)
+    run_load(config, run_dir=str(tmp_path), heartbeat_hook=hooked.append)
+    firing = [record["slo_firing"] for record in hooked
+              if record.get("slo_firing")]
+    assert firing
+    assert any("fleet-pacing-p99" in rules for rules in firing)
+
+
 def test_supervisor_busy_stats_port_fails_clearly():
     async def go():
         blocker = await asyncio.start_server(

@@ -144,6 +144,44 @@ class TestRunDirectory:
         assert regressions == []
         assert "0 regression(s)" in text
 
+    def test_diff_reports_series_divergence_window(self, tmp_path):
+        """A/B pair recorded with --series: the diff names the time
+        window where the injected stall pulled the runs apart — and the
+        divergence stays informational (no regression by itself unless
+        aggregate metrics also moved)."""
+        kwargs = dict(baselines=["ace"], traces=[flat_trace()], seeds=(3,),
+                      duration=2.5, series=True)
+        run_grid(run_dir=str(tmp_path / "ref"), **kwargs)
+        run_grid(run_dir=str(tmp_path / "stalled"),
+                 inject_stall=(1.0, 0.8), **kwargs)
+        text, _ = diff_runs(tmp_path / "stalled", tmp_path / "ref")
+        assert "time-series divergence (worst window per shard):" in text
+        assert "ace__flat__s3__gaming: max divergence in" in text
+        assert "normalized" in text
+
+    def test_diff_without_shards_skips_divergence_section(self, run_dirs):
+        r1, r2 = run_dirs
+        text, _ = diff_runs(r1, r2)
+        # Pre-series run dirs degrade cleanly: no divergence header.
+        assert "time-series divergence" not in text
+
+    def test_diff_identical_series_runs_have_no_divergence(self, tmp_path):
+        kwargs = dict(baselines=["ace"], traces=[flat_trace()], seeds=(3,),
+                      duration=1.5, series=True)
+        run_grid(run_dir=str(tmp_path / "a"), **kwargs)
+        run_grid(run_dir=str(tmp_path / "b"), **kwargs)
+        text, regressions = diff_runs(tmp_path / "a", tmp_path / "b")
+        assert regressions == []
+        # Identical shards: every window's divergence is ~0, but the
+        # worst window is still reported (it exists, it is just flat).
+        if "time-series divergence" in text:
+            assert "normalized 0.000" in text
+
+    def test_run_dir_writes_are_atomic(self, run_dirs):
+        r1, _ = run_dirs
+        leftovers = [p for p in r1.rglob(".*.tmp")]
+        assert leftovers == []
+
     def test_diff_flags_regression(self, run_dirs, tmp_path):
         r1, _ = run_dirs
         # Degrade one baseline's latency in a doctored copy of the run.

@@ -95,3 +95,64 @@ def test_histogram_quantile_clamps_q():
     assert histogram_quantile(h.cumulative(), -5) is not None
     assert histogram_quantile(h.cumulative(), 250) == \
         histogram_quantile(h.cumulative(), 100)
+
+
+# ---------------------------------------------------------------------------
+# property tests (hypothesis): the estimator's contract over all inputs
+# ---------------------------------------------------------------------------
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: the watchdog-style bucket ladder the properties run against; 2.5 is
+#: the largest finite bound, so it is also the saturation ceiling.
+_BOUNDS = (0.1, 0.5, 1.0, 2.5)
+
+_samples = st.lists(
+    st.floats(min_value=0.0, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60)
+
+
+def _filled(samples) -> Histogram:
+    h = Histogram("x", buckets=_BOUNDS)
+    for v in samples:
+        h.observe(v)
+    return h
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples=_samples,
+       qs=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False),
+                   min_size=2, max_size=6))
+def test_histogram_quantile_monotone_in_q(samples, qs):
+    """For a fixed histogram, the estimate must be non-decreasing in q —
+    a p99 below the p50 would make every SLO threshold meaningless."""
+    cum = _filled(samples).cumulative()
+    estimates = [histogram_quantile(cum, q) for q in sorted(qs)]
+    assert all(e is not None for e in estimates)
+    assert all(lo <= hi for lo, hi in zip(estimates, estimates[1:]))
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples=_samples,
+       q=st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_histogram_quantile_saturates_at_largest_finite_bound(samples, q):
+    """Estimates never escape [0, top-finite-bound]: mass in the +Inf
+    overflow bucket reports the 2.5 ceiling, not infinity."""
+    cum = _filled(samples).cumulative()
+    estimate = histogram_quantile(cum, q)
+    assert estimate is not None
+    assert 0.0 <= estimate <= _BOUNDS[-1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples=st.lists(st.floats(min_value=2.500001, max_value=50.0,
+                                  allow_nan=False, allow_infinity=False),
+                        min_size=1, max_size=30))
+def test_histogram_quantile_overflow_only_mass_reports_ceiling(samples):
+    """All samples past the top bucket: every quantile is exactly the
+    largest finite bound."""
+    cum = _filled(samples).cumulative()
+    for q in (1, 50, 99, 100):
+        assert histogram_quantile(cum, q) == _BOUNDS[-1]

@@ -82,6 +82,24 @@ def test_sim_results_bit_identical_with_telemetry_on(baseline):
         f"instrumentation must not perturb results")
 
 
+@pytest.mark.parametrize("baseline", sorted(GOLDEN))
+def test_sim_results_bit_identical_with_series_recording_on(baseline):
+    """The time-series recorder rides the telemetry tick and is a pure
+    observer too: recording bounded per-tick series (gauge reads,
+    counter values, pacing quantiles off the burst rings) must leave the
+    golden fingerprints untouched."""
+    trace = make_wifi_trace(RngStream(11, "trace"), duration=DURATION + 10)
+    config = SessionConfig(duration=DURATION, seed=SEED)
+    session = build_session(baseline, trace, config)
+    telemetry = session.enable_telemetry()
+    recorder = telemetry.attach_series()
+    metrics = session.run()
+    assert recorder.frame().t, "series recording was on but captured nothing"
+    assert fingerprint(metrics) == GOLDEN[baseline], (
+        f"series recording changed the simulated {baseline} session — "
+        f"the recorder must be a pure observer")
+
+
 def test_fingerprint_is_deterministic_across_runs():
     """Guards the fingerprint itself: two fresh sessions on the same
     workload must hash identically (no hidden global state)."""
